@@ -1,0 +1,47 @@
+"""Benchmark A2: CPSJOIN with and without the 1-bit minwise sketch filter.
+
+The sketch check (Section V-A.2) exists to keep expensive exact verifications
+off the hot path.  The benchmark times CPSJOIN in both modes on a
+frequent-token workload and asserts that disabling the filter increases the
+number of exact verifications.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CPSJoinConfig
+from repro.evaluation.runner import ExperimentRunner
+from benchmarks.conftest import BENCH_SEED
+
+ABLATION_DATASET = "NETFLIX"
+THRESHOLD = 0.5
+
+
+@pytest.fixture(scope="module")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(target_recall=0.9, seed=BENCH_SEED)
+
+
+@pytest.mark.parametrize("use_sketches", [True, False], ids=["sketches-on", "sketches-off"])
+def test_sketch_filter_time(benchmark, bench_datasets, runner, use_sketches) -> None:
+    dataset = bench_datasets[ABLATION_DATASET]
+    config = CPSJoinConfig(use_sketches=use_sketches, seed=BENCH_SEED)
+    measurement = benchmark.pedantic(
+        lambda: runner.run_cpsjoin(dataset, THRESHOLD, config=config), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {
+            "sketch_filter": "on" if use_sketches else "off",
+            "exact_verifications": measurement.stats.verified,
+            "recall": round(measurement.recall, 3),
+        }
+    )
+    assert measurement.precision == 1.0
+
+
+def test_sketches_reduce_exact_verifications(bench_datasets, runner) -> None:
+    dataset = bench_datasets[ABLATION_DATASET]
+    with_sketches = runner.run_cpsjoin(dataset, THRESHOLD, config=CPSJoinConfig(use_sketches=True, seed=BENCH_SEED))
+    without_sketches = runner.run_cpsjoin(dataset, THRESHOLD, config=CPSJoinConfig(use_sketches=False, seed=BENCH_SEED))
+    assert with_sketches.stats.verified < without_sketches.stats.verified

@@ -1,0 +1,56 @@
+"""Benchmark A1: adaptive vs individual vs global stopping strategies.
+
+Section IV-C.5 argues E[T_adaptive] ≤ E[T_individual] ≤ E[T_global] up to
+constants.  The benchmark times one CPSJOIN repetition under each strategy on
+the same preprocessed collection and records the comparison counts; the shape
+assertion allows a constant-factor slack but requires the adaptive strategy
+not to be dominated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.core.config import CPSJoinConfig
+from repro.core.cpsjoin import CPSJoin
+from benchmarks.conftest import BENCH_SEED
+
+ABLATION_DATASET = "UNIFORM005"
+THRESHOLD = 0.5
+STRATEGIES = ["adaptive", "individual", "global"]
+REPETITIONS = 3
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_stopping_strategy_time(benchmark, preprocessed_cache, strategy) -> None:
+    collection = preprocessed_cache[ABLATION_DATASET]
+    engine = CPSJoin(THRESHOLD, CPSJoinConfig(stopping=strategy, seed=BENCH_SEED))
+
+    def run():
+        pairs = set()
+        pre_candidates = 0
+        for repetition in range(REPETITIONS):
+            result = engine.run_once(collection, repetition=repetition)
+            pairs |= result.pairs
+            pre_candidates += result.stats.pre_candidates
+        return pairs, pre_candidates
+
+    pairs, pre_candidates = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {"strategy": strategy, "pre_candidates": pre_candidates, "results": len(pairs)}
+    )
+
+
+def test_adaptive_not_dominated(preprocessed_cache) -> None:
+    """The adaptive rule should not generate far more comparisons than either alternative."""
+    collection = preprocessed_cache[ABLATION_DATASET]
+    pre_candidates: Dict[str, int] = {}
+    for strategy in STRATEGIES:
+        engine = CPSJoin(THRESHOLD, CPSJoinConfig(stopping=strategy, seed=BENCH_SEED))
+        total = 0
+        for repetition in range(REPETITIONS):
+            total += engine.run_once(collection, repetition=repetition).stats.pre_candidates
+        pre_candidates[strategy] = total
+    assert pre_candidates["adaptive"] <= 2 * max(pre_candidates["individual"], pre_candidates["global"])

@@ -1,0 +1,67 @@
+"""Benchmark E3 (Figure 2): CPSJOIN speedup over ALLPAIRS per threshold.
+
+Figure 2 plots the ratio ALL-time / CP-time for every dataset and threshold.
+The benchmark times CPSJOIN (at ≥ 90 % recall) on representative datasets and
+asserts the qualitative shape of the figure: CPSJOIN wins clearly on the
+frequent-token workloads and does not win on the rare-token workloads.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import pytest
+
+from repro.core.config import CPSJoinConfig
+from repro.evaluation.runner import ExperimentRunner
+from benchmarks.conftest import BENCH_SEED
+
+FREQUENT_TOKEN_DATASETS = ["NETFLIX", "UNIFORM005", "TOKENS10K"]
+RARE_TOKEN_DATASETS = ["AOL", "SPOTIFY"]
+
+
+@pytest.fixture(scope="module")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(target_recall=0.9, seed=BENCH_SEED)
+
+
+@pytest.mark.parametrize("dataset_name", FREQUENT_TOKEN_DATASETS + RARE_TOKEN_DATASETS)
+@pytest.mark.parametrize("threshold", [0.5, 0.7])
+def test_figure2_speedup_series(benchmark, bench_datasets, runner, dataset_name, threshold) -> None:
+    dataset = bench_datasets[dataset_name]
+    exact = runner.run_allpairs(dataset, threshold)
+
+    def cpsjoin_cell():
+        return runner.run_cpsjoin(dataset, threshold)
+
+    approximate = benchmark.pedantic(cpsjoin_cell, rounds=1, iterations=1)
+    speedup = exact.join_seconds / max(approximate.join_seconds, 1e-9)
+    benchmark.extra_info.update(
+        {
+            "dataset": dataset_name,
+            "threshold": threshold,
+            "allpairs_seconds": round(exact.join_seconds, 4),
+            "cpsjoin_seconds": round(approximate.join_seconds, 4),
+            "speedup": round(speedup, 2),
+            "cp_recall": round(approximate.recall, 3),
+        }
+    )
+    assert approximate.precision == 1.0
+
+
+def test_figure2_shape_frequent_vs_rare(bench_datasets, runner) -> None:
+    """The defining contrast of Figure 2: CP ≫ ALL on frequent-token data, not on rare-token data."""
+    speedups: Dict[str, float] = {}
+    for name in FREQUENT_TOKEN_DATASETS + RARE_TOKEN_DATASETS:
+        dataset = bench_datasets[name]
+        exact = runner.run_allpairs(dataset, 0.5)
+        approximate = runner.run_cpsjoin(dataset, 0.5)
+        speedups[name] = exact.join_seconds / max(approximate.join_seconds, 1e-9)
+
+    best_frequent = max(speedups[name] for name in FREQUENT_TOKEN_DATASETS)
+    best_rare = max(speedups[name] for name in RARE_TOKEN_DATASETS)
+    # CPSJOIN should win by a clear margin somewhere in the frequent-token
+    # group and the rare-token group should be much less favourable.
+    assert best_frequent > 2.0
+    assert best_frequent > 2 * best_rare

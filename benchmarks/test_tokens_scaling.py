@@ -1,0 +1,59 @@
+"""Benchmark E8: the TOKENS robustness claim (Section VI-A.3).
+
+The paper shows that increasing how many sets each token appears in
+(TOKENS10K → TOKENS15K → TOKENS20K) makes the speedup of CPSJOIN over
+ALLPAIRS grow without bound, because every ALLPAIRS inverted list grows while
+the result set stays fixed.  The benchmark times both algorithms on the three
+surrogates and asserts the monotone growth of both the ALLPAIRS join time and
+the speedup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.evaluation.runner import ExperimentRunner
+from benchmarks.conftest import BENCH_SEED
+
+TOKENS_SERIES = ["TOKENS10K", "TOKENS15K", "TOKENS20K"]
+THRESHOLD = 0.7
+
+
+@pytest.fixture(scope="module")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(target_recall=0.9, seed=BENCH_SEED)
+
+
+@pytest.mark.parametrize("dataset_name", TOKENS_SERIES)
+def test_tokens_allpairs_time(benchmark, bench_datasets, runner, dataset_name) -> None:
+    dataset = bench_datasets[dataset_name]
+    measurement = benchmark.pedantic(
+        lambda: runner.run_allpairs(dataset, THRESHOLD), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update({"dataset": dataset_name, "algorithm": "ALL", "results": measurement.num_results})
+
+
+@pytest.mark.parametrize("dataset_name", TOKENS_SERIES)
+def test_tokens_cpsjoin_time(benchmark, bench_datasets, runner, dataset_name) -> None:
+    dataset = bench_datasets[dataset_name]
+    measurement = benchmark.pedantic(
+        lambda: runner.run_cpsjoin(dataset, THRESHOLD), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {"dataset": dataset_name, "algorithm": "CP", "recall": round(measurement.recall, 3)}
+    )
+    assert measurement.precision == 1.0
+
+
+def test_tokens_speedup_grows_with_token_frequency(bench_datasets, runner) -> None:
+    """The CP/ALL speedup must increase from TOKENS10K to TOKENS20K."""
+    speedups: Dict[str, float] = {}
+    for name in TOKENS_SERIES:
+        dataset = bench_datasets[name]
+        exact = runner.run_allpairs(dataset, THRESHOLD)
+        approximate = runner.run_cpsjoin(dataset, THRESHOLD)
+        speedups[name] = exact.join_seconds / max(approximate.join_seconds, 1e-9)
+    assert speedups["TOKENS20K"] > speedups["TOKENS10K"]
+    assert speedups["TOKENS20K"] > 1.0

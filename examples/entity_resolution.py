@@ -1,0 +1,77 @@
+"""Entity resolution over text records (the paper's motivating application).
+
+The introduction of the paper motivates set similarity join with entity
+resolution: find pairs of records that refer to the same real-world entity
+even when the strings differ slightly.  This example:
+
+1. takes a list of company-name strings containing several misspelled or
+   reformatted duplicates,
+2. converts them to sets of character 3-grams (shingles) with
+   ``repro.datasets.transform.shingle_strings``,
+3. runs CPSJOIN at a Jaccard threshold of 0.5, and
+4. prints the detected duplicate groups together with precision/recall
+   against the known ground truth.
+
+Run with::
+
+    python examples/entity_resolution.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro import CPSJoinConfig, similarity_join
+from repro.datasets.transform import shingle_strings
+from repro.evaluation.metrics import precision, recall
+
+# Company names; tuples of indices that refer to the same entity.
+COMPANY_NAMES: List[str] = [
+    "International Business Machines Corporation",   # 0
+    "Internatonal Business Machines Corp",            # 1 (same as 0)
+    "IBM Corporation",                                 # 2
+    "Acme Data Engineering ApS",                       # 3
+    "ACME Data Engineering",                           # 4 (same as 3)
+    "Acme Data Enginering ApS",                        # 5 (same as 3)
+    "Copenhagen Similarity Systems A/S",               # 6
+    "Copenhagen Similarity Systems",                   # 7 (same as 6)
+    "Aarhus Analytics",                                # 8
+    "Aarhus Analytics Group",                          # 9 (same as 8)
+    "Nordic Cloud Databases",                          # 10
+    "Baltic Cloud Databases",                          # 11
+]
+
+# Ground truth: pairs of indices that are true duplicates (by inspection).
+TRUE_DUPLICATES: Set[Tuple[int, int]] = {(0, 1), (3, 4), (3, 5), (4, 5), (6, 7), (8, 9)}
+
+
+def main() -> None:
+    threshold = 0.5
+
+    # 1. Tokenize: each name becomes a set of character 3-grams.
+    dataset, vocabulary = shingle_strings(COMPANY_NAMES, shingle_length=3)
+    print(f"{len(COMPANY_NAMES)} company names, {len(vocabulary)} distinct 3-gram tokens\n")
+
+    # 2. Join with CPSJOIN.
+    result = similarity_join(
+        dataset.records, threshold, algorithm="cpsjoin", config=CPSJoinConfig(seed=7)
+    )
+
+    # 3. Report the matched pairs.
+    print(f"Pairs with 3-gram Jaccard similarity >= {threshold}:")
+    for first, second in sorted(result.pairs):
+        marker = "TRUE " if (first, second) in TRUE_DUPLICATES else "extra"
+        print(f"  [{marker}] {COMPANY_NAMES[first]!r}  <->  {COMPANY_NAMES[second]!r}")
+
+    # 4. Quality against the hand-labelled ground truth.
+    pair_precision = precision(result.pairs, TRUE_DUPLICATES)
+    pair_recall = recall(result.pairs, TRUE_DUPLICATES)
+    print(f"\nPrecision vs labelled duplicates: {pair_precision:.2f}")
+    print(f"Recall    vs labelled duplicates: {pair_recall:.2f}")
+    print("\nNote: precision below 1.0 here means the *similarity threshold* matched a")
+    print("non-duplicate (e.g. two different 'Cloud Databases' companies), not that the")
+    print("join reported a pair below the threshold — the join itself never does that.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Robustness to frequent tokens: CPSJOIN vs ALLPAIRS on TOKENS-style data.
+
+Section VI-A.3 of the paper shows that prefix-filtering joins collapse when
+every token is frequent, while CPSJOIN is unaffected — its cost depends on the
+similarity structure, not on token rarity.  This example regenerates that
+comparison at laptop scale:
+
+1. generate three TOKENS-style datasets where each token appears in an
+   increasing number of sets (the TOKENS10K/15K/20K surrogates),
+2. run ALLPAIRS and CPSJOIN (at ≥ 90 % recall) on each, and
+3. print the join times and the growing speedup.
+
+Run with::
+
+    python examples/token_robustness.py [--scale 0.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.config import CPSJoinConfig
+from repro.datasets.profiles import generate_profile_dataset
+from repro.evaluation.runner import ExperimentRunner
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.3, help="dataset scale factor (default 0.3)")
+    parser.add_argument("--threshold", type=float, default=0.7, help="Jaccard threshold (default 0.7)")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    runner = ExperimentRunner(target_recall=0.9, seed=args.seed)
+    print(f"TOKENS robustness demo (threshold {args.threshold}, scale {args.scale})\n")
+    print(f"{'dataset':<12} {'records':>8} {'sets/token':>11} {'ALL (s)':>9} {'CP (s)':>9} {'speedup':>8} {'CP recall':>10}")
+
+    for name in ("TOKENS10K", "TOKENS15K", "TOKENS20K"):
+        dataset = generate_profile_dataset(name, scale=args.scale, seed=args.seed)
+        statistics = dataset.statistics()
+
+        exact = runner.run_allpairs(dataset, args.threshold)
+        approximate = runner.run_cpsjoin(dataset, args.threshold, config=CPSJoinConfig(seed=args.seed))
+
+        speedup = exact.join_seconds / max(approximate.join_seconds, 1e-9)
+        print(
+            f"{name:<12} {len(dataset):>8} {statistics.average_sets_per_token:>11.1f} "
+            f"{exact.join_seconds:>9.3f} {approximate.join_seconds:>9.3f} "
+            f"{speedup:>8.1f} {approximate.recall:>10.2f}"
+        )
+
+    print(
+        "\nEvery token appears in a constant fraction of the sets, so every ALLPAIRS\n"
+        "inverted list grows with the collection while the result set stays fixed —\n"
+        "the speedup of CPSJOIN grows correspondingly (compare the rows top to bottom)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Run every experiment of the reproduction and write the results to a file.
+
+This is the script used to produce the measured numbers quoted in
+EXPERIMENTS.md.  It runs each experiment module at the requested scale and
+writes the formatted tables to ``results/experiments_<scale>.txt`` (and prints
+them to stdout).
+
+Usage::
+
+    python scripts/run_experiments.py --scale 0.3 --out results/experiments.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    ablation_sketches,
+    ablation_stopping,
+    figure2,
+    figure3,
+    table1,
+    table2,
+    table4,
+    tokens_scaling,
+)
+from repro.experiments.common import ALL_DATASET_NAMES, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--thresholds", nargs="*", type=float, default=[0.5, 0.7, 0.9])
+    parser.add_argument("--out", type=str, default="results/experiments.txt")
+    args = parser.parse_args()
+
+    output_path = Path(args.out)
+    output_path.parent.mkdir(parents=True, exist_ok=True)
+    sections = []
+
+    def section(title: str, body: str) -> None:
+        text = f"\n## {title}\n\n{body}\n"
+        sections.append(text)
+        print(text)
+        sys.stdout.flush()
+        output_path.write_text("".join(sections))
+
+    start = time.time()
+    section(
+        "Table I — dataset statistics (paper vs surrogate)",
+        format_table(table1.run(names=ALL_DATASET_NAMES, scale=args.scale, seed=args.seed)),
+    )
+    section(
+        "Table II — join time in seconds at >=90% recall (CP / MH / ALL)",
+        format_table(
+            table2.run(
+                names=ALL_DATASET_NAMES,
+                thresholds=tuple(args.thresholds),
+                scale=args.scale,
+                seed=args.seed,
+            )
+        ),
+    )
+    section(
+        "Figure 2 — CPSJOIN speedup over ALLPAIRS",
+        format_table(
+            figure2.run(names=ALL_DATASET_NAMES, thresholds=tuple(args.thresholds), scale=args.scale, seed=args.seed)
+        ),
+    )
+    figure3_results = figure3.run(scale=args.scale, seed=args.seed)
+    for key in ("3a", "3b", "3c"):
+        section(f"Figure {key} — CPSJOIN parameter sweep (relative join time)", format_table(figure3_results[key]))
+    section(
+        "Table IV — pre-candidates / candidates / results (ALL vs CP)",
+        format_table(table4.run(names=ALL_DATASET_NAMES, scale=args.scale, seed=args.seed)),
+    )
+    section("TOKENS scaling", format_table(tokens_scaling.run(scale=max(args.scale, 0.5), seed=args.seed)))
+    section("Ablation — stopping strategies", format_table(ablation_stopping.run(scale=args.scale, seed=args.seed)))
+    section("Ablation — sketch filter", format_table(ablation_sketches.run(scale=args.scale, seed=args.seed)))
+    section("Total wall-clock time", f"{time.time() - start:.1f} seconds at scale {args.scale}")
+
+
+if __name__ == "__main__":
+    main()

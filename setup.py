@@ -1,0 +1,15 @@
+"""Setup shim.
+
+The environment used for this reproduction has no network access and an older
+setuptools without the ``wheel`` package, so ``pip install -e .`` cannot build
+editable wheels (PEP 660).  This shim lets the classic fallback work:
+
+    pip install -e . --no-build-isolation
+
+or, equivalently, ``python setup.py develop``.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

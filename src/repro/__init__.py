@@ -1,0 +1,38 @@
+"""Reproduction of "Scalable and Robust Set Similarity Join" (ICDE 2018).
+
+The package implements CPSJOIN — the Chosen Path Similarity Join of
+Christiani, Pagh and Sivertsen — together with every substrate and baseline
+the paper's evaluation depends on: MinHash and 1-bit minwise sketching,
+prefix-filtering exact joins (ALLPAIRS, PPJOIN), approximate baselines
+(MinHash LSH, BayesLSH-lite), dataset generators mirroring the paper's
+workloads, and an experiment harness that regenerates every table and figure.
+
+Quickstart::
+
+    from repro import similarity_join
+
+    records = [[1, 2, 3, 4], [2, 3, 4, 5], [10, 11, 12, 13]]
+    result = similarity_join(records, threshold=0.5, algorithm="cpsjoin", seed=0)
+    print(sorted(result.pairs))   # [(0, 1)]
+"""
+
+from repro.core.config import CPSJoinConfig
+from repro.core.cpsjoin import CPSJoin, cpsjoin
+from repro.datasets.base import Dataset
+from repro.join import ALGORITHMS, similarity_join, similarity_join_rs
+from repro.result import JoinResult, JoinStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CPSJoinConfig",
+    "CPSJoin",
+    "cpsjoin",
+    "Dataset",
+    "ALGORITHMS",
+    "similarity_join",
+    "similarity_join_rs",
+    "JoinResult",
+    "JoinStats",
+    "__version__",
+]

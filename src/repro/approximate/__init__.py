@@ -1,0 +1,19 @@
+"""Approximate set similarity join baselines compared against CPSJOIN.
+
+* :mod:`repro.approximate.minhash_lsh` — the classic MinHash LSH join
+  (Algorithm 3 of the paper) with the cost-based choice of the number of
+  concatenated hash functions ``k``.
+* :mod:`repro.approximate.bayeslsh` — a BayesLSH-lite style join: LSH
+  candidate generation followed by incremental Bayesian sketch-based pruning
+  and exact verification of survivors.
+"""
+
+from repro.approximate.bayeslsh import BayesLSHJoin, bayeslsh_join
+from repro.approximate.minhash_lsh import MinHashLSHJoin, minhash_lsh_join
+
+__all__ = [
+    "BayesLSHJoin",
+    "bayeslsh_join",
+    "MinHashLSHJoin",
+    "minhash_lsh_join",
+]

@@ -1,0 +1,184 @@
+"""Command-line interface for the reproduction.
+
+Four subcommands cover the day-to-day uses of the library without writing any
+Python:
+
+* ``repro-join join`` — run a similarity self-join over a token-set file
+  (one record per line, whitespace-separated integer tokens) and print or
+  save the resulting pairs.
+* ``repro-join generate`` — generate one of the surrogate datasets (or a
+  synthetic TOKENS / UNIFORM / ZIPF collection) and write it in the same
+  format.
+* ``repro-join stats`` — print the Table I statistics of a dataset file.
+* ``repro-join experiment`` — run one of the paper's experiments by name
+  (``table1``, ``table2``, ``figure2``, ``figure3``, ``table4``,
+  ``tokens``, ``ablation-stopping``, ``ablation-sketches``).
+
+Examples::
+
+    repro-join generate NETFLIX --scale 0.3 --out netflix.txt
+    repro-join join netflix.txt --threshold 0.7 --algorithm cpsjoin --out pairs.csv
+    repro-join stats netflix.txt
+    repro-join experiment figure2 --scale 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.config import CPSJoinConfig
+from repro.datasets.io import read_dataset, write_dataset
+from repro.datasets.profiles import generate_profile_dataset
+from repro.evaluation.reports import rows_to_csv
+from repro.join import ALGORITHMS, similarity_join
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro-join`` CLI."""
+    parser = argparse.ArgumentParser(prog="repro-join", description="Set similarity join (CPSJOIN reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    join_parser = subparsers.add_parser("join", help="run a similarity self-join over a token-set file")
+    join_parser.add_argument("input", type=str, help="dataset file (one record per line of integer tokens)")
+    join_parser.add_argument("--threshold", type=float, default=0.5, help="Jaccard threshold (default 0.5)")
+    join_parser.add_argument("--algorithm", choices=ALGORITHMS, default="cpsjoin")
+    join_parser.add_argument("--seed", type=int, default=None, help="random seed for the randomized algorithms")
+    join_parser.add_argument("--repetitions", type=int, default=None, help="CPSJOIN repetitions (default 10)")
+    join_parser.add_argument("--out", type=str, default=None, help="write pairs as CSV to this path (default stdout)")
+
+    generate_parser = subparsers.add_parser("generate", help="generate a surrogate or synthetic dataset")
+    generate_parser.add_argument("name", type=str, help="profile name, e.g. NETFLIX, AOL, TOKENS10K, UNIFORM005")
+    generate_parser.add_argument("--scale", type=float, default=1.0)
+    generate_parser.add_argument("--seed", type=int, default=42)
+    generate_parser.add_argument("--out", type=str, required=True, help="output dataset file")
+
+    stats_parser = subparsers.add_parser("stats", help="print Table I statistics of a dataset file")
+    stats_parser.add_argument("input", type=str)
+
+    experiment_parser = subparsers.add_parser("experiment", help="run one of the paper's experiments")
+    experiment_parser.add_argument(
+        "name",
+        choices=[
+            "table1",
+            "table2",
+            "figure2",
+            "figure3",
+            "table4",
+            "tokens",
+            "ablation-stopping",
+            "ablation-sketches",
+        ],
+    )
+    experiment_parser.add_argument("--scale", type=float, default=0.3)
+    experiment_parser.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _command_join(args: argparse.Namespace) -> int:
+    dataset = read_dataset(args.input)
+    config = None
+    if args.algorithm == "cpsjoin":
+        overrides = {}
+        if args.repetitions is not None:
+            overrides["repetitions"] = args.repetitions
+        config = CPSJoinConfig(seed=args.seed, **overrides)
+    result = similarity_join(dataset.records, args.threshold, algorithm=args.algorithm, config=config, seed=args.seed)
+
+    rows = [{"first": first, "second": second} for first, second in sorted(result.pairs)]
+    csv_text = rows_to_csv(rows, columns=["first", "second"])
+    if args.out:
+        Path(args.out).write_text(csv_text, encoding="utf-8")
+    else:
+        sys.stdout.write(csv_text)
+    stats = result.stats
+    print(
+        f"# {stats.algorithm or args.algorithm}: {len(result.pairs)} pairs, "
+        f"{stats.candidates} candidates, {stats.elapsed_seconds:.3f}s join time",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    dataset = generate_profile_dataset(args.name, scale=args.scale, seed=args.seed)
+    write_dataset(dataset, args.out)
+    statistics = dataset.statistics()
+    print(
+        f"wrote {statistics.num_records} records to {args.out} "
+        f"(avg set size {statistics.average_set_size:.1f}, "
+        f"{statistics.average_sets_per_token:.1f} sets/token)"
+    )
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    dataset = read_dataset(args.input)
+    statistics = dataset.statistics()
+    print(f"dataset:          {dataset.name}")
+    print(f"records:          {statistics.num_records}")
+    print(f"universe size:    {statistics.universe_size}")
+    print(f"avg set size:     {statistics.average_set_size:.2f}")
+    print(f"sets per token:   {statistics.average_sets_per_token:.2f}")
+    print(f"set size range:   [{statistics.min_set_size}, {statistics.max_set_size}]")
+    print(f"frequency skew:   {statistics.token_frequency_skew:.3f}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ablation_sketches,
+        ablation_stopping,
+        figure2,
+        figure3,
+        table1,
+        table2,
+        table4,
+        tokens_scaling,
+    )
+    from repro.experiments.common import format_table
+
+    name = args.name
+    if name == "table1":
+        print(format_table(table1.run(scale=args.scale, seed=args.seed)))
+    elif name == "table2":
+        print(format_table(table2.run(scale=args.scale, seed=args.seed)))
+    elif name == "figure2":
+        print(format_table(figure2.run(scale=args.scale, seed=args.seed)))
+    elif name == "figure3":
+        for key, rows in figure3.run(scale=args.scale, seed=args.seed).items():
+            print(f"\n== Figure {key} ==")
+            print(format_table(rows))
+    elif name == "table4":
+        print(format_table(table4.run(scale=args.scale, seed=args.seed)))
+    elif name == "tokens":
+        print(format_table(tokens_scaling.run(scale=args.scale, seed=args.seed)))
+    elif name == "ablation-stopping":
+        print(format_table(ablation_stopping.run(scale=args.scale, seed=args.seed)))
+    elif name == "ablation-sketches":
+        print(format_table(ablation_sketches.run(scale=args.scale, seed=args.seed)))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "join":
+        return _command_join(args)
+    if args.command == "generate":
+        return _command_generate(args)
+    if args.command == "stats":
+        return _command_stats(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

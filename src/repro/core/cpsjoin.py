@@ -1,0 +1,332 @@
+"""The CPSJOIN algorithm (Algorithms 1 and 2 of the paper).
+
+The engine performs one randomized run of the Chosen Path Similarity Join on
+a preprocessed collection.  A run recursively splits the collection along the
+Chosen Path Tree:
+
+* **BRUTEFORCE step** (Algorithm 2): subproblems of at most ``limit`` records
+  are solved by all-pairs comparison; in larger subproblems every record whose
+  estimated average similarity to the rest exceeds ``(1 - ε) λ`` is compared
+  against the whole subproblem and removed (the adaptive stopping rule that
+  distinguishes CPSJOIN from classic LSH approaches).
+* **Splitting step** (Algorithm 1): the surviving records are split into
+  buckets.  Following the implementation heuristic of Section V-A.3, instead
+  of hashing every token the engine samples an expected ``1/λ`` coordinates of
+  the MinHash embedding and groups records by their MinHash value on each
+  sampled coordinate; each non-trivial bucket becomes a recursive subproblem.
+
+For the ablation of Section IV-C.5 the engine also implements the ``global``
+and ``individual`` stopping strategies, which replace the adaptive rule with a
+fixed recursion depth (one global depth, or one depth per record estimated
+from its average similarity to the collection).
+
+A single run reports every qualifying pair with probability ``Ω(ε/log n)``
+(Lemma 6); the :mod:`repro.core.repetition` driver runs the engine several
+times (ten by default, as in the paper's experiments) to reach the target
+recall.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.bruteforce import BruteForcer
+from repro.core.config import CPSJoinConfig
+from repro.core.preprocess import PreprocessedCollection, preprocess_collection
+from repro.result import JoinResult, JoinStats, Timer
+
+__all__ = ["CPSJoin", "cpsjoin"]
+
+
+class CPSJoin:
+    """Chosen Path Similarity Join engine.
+
+    Parameters
+    ----------
+    threshold:
+        Jaccard similarity threshold ``λ`` in ``(0, 1)``.
+    config:
+        Algorithm parameters; see :class:`repro.core.config.CPSJoinConfig`.
+    """
+
+    def __init__(self, threshold: float, config: Optional[CPSJoinConfig] = None) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.threshold = threshold
+        self.config = config if config is not None else CPSJoinConfig()
+
+    # ------------------------------------------------------------------ public API
+    def join(self, records: Sequence[Sequence[int]]) -> JoinResult:
+        """Preprocess ``records`` and run the configured number of repetitions."""
+        collection = preprocess_collection(
+            records,
+            embedding_size=self.config.embedding_size,
+            sketch_words=self.config.sketch_words,
+            seed=self.config.seed,
+        )
+        return self.join_preprocessed(collection)
+
+    def join_preprocessed(self, collection: PreprocessedCollection) -> JoinResult:
+        """Run the configured number of repetitions on a preprocessed collection."""
+        pairs: Set[Tuple[int, int]] = set()
+        total_stats = JoinStats(
+            algorithm="CPSJOIN",
+            threshold=self.threshold,
+            num_records=collection.num_records,
+            repetitions=0,
+            preprocessing_seconds=collection.preprocessing_seconds,
+        )
+        for repetition in range(self.config.repetitions):
+            run_result = self.run_once(collection, repetition=repetition)
+            pairs |= run_result.pairs
+            total_stats.merge(run_result.stats)
+        total_stats.results = len(pairs)
+        return JoinResult(pairs=pairs, stats=total_stats)
+
+    def run_once(self, collection: PreprocessedCollection, repetition: int = 0) -> JoinResult:
+        """Run a single repetition of CPSJOIN on a preprocessed collection."""
+        seed = None if self.config.seed is None else self.config.seed * 7919 + repetition
+        rng = np.random.default_rng(seed)
+        stats = JoinStats(
+            algorithm="CPSJOIN",
+            threshold=self.threshold,
+            num_records=collection.num_records,
+            repetitions=1,
+        )
+        brute_forcer = BruteForcer(
+            collection,
+            self.threshold,
+            stats,
+            use_sketches=self.config.use_sketches,
+            sketch_false_negative_rate=self.config.sketch_false_negative_rate,
+            rng=rng,
+        )
+        pairs: Set[Tuple[int, int]] = set()
+        all_records = list(range(collection.num_records))
+
+        with Timer() as timer:
+            if self.config.stopping == "adaptive":
+                self._recurse_adaptive(all_records, 0, collection, brute_forcer, rng, pairs, stats)
+            elif self.config.stopping == "global":
+                depth = self._global_depth(collection.num_records)
+                self._recurse_fixed_depth(all_records, 0, depth, collection, brute_forcer, rng, pairs, stats)
+            else:  # individual
+                depth_values = self._individual_depths(all_records, brute_forcer)
+                depths = {record_id: int(depth) for record_id, depth in zip(all_records, depth_values)}
+                self._recurse_individual(all_records, 0, depths, collection, brute_forcer, rng, pairs, stats)
+
+        stats.results = len(pairs)
+        stats.elapsed_seconds = timer.elapsed
+        return JoinResult(pairs=pairs, stats=stats)
+
+    # ------------------------------------------------------------------ adaptive strategy (the paper's)
+    def _recurse_adaptive(
+        self,
+        subset: List[int],
+        depth: int,
+        collection: PreprocessedCollection,
+        brute_forcer: BruteForcer,
+        rng: np.random.Generator,
+        pairs: Set[Tuple[int, int]],
+        stats: JoinStats,
+    ) -> None:
+        """One node of the Chosen Path Tree under the adaptive stopping rule."""
+        stats.extra["tree_nodes"] = stats.extra.get("tree_nodes", 0.0) + 1.0
+        stats.extra["max_depth"] = max(stats.extra.get("max_depth", 0.0), float(depth))
+
+        subset = self._brute_force_step(subset, collection, brute_forcer, pairs, stats)
+        if len(subset) < 2:
+            return
+        if depth >= self.config.max_depth:
+            # Safety net: the analysis bounds the depth by O(log n / ε) w.h.p.;
+            # finish any unexpectedly deep branch exactly.
+            brute_forcer.pairs(subset, pairs)
+            return
+        for bucket in self._split(subset, collection, rng):
+            self._recurse_adaptive(bucket, depth + 1, collection, brute_forcer, rng, pairs, stats)
+
+    def _brute_force_step(
+        self,
+        subset: List[int],
+        collection: PreprocessedCollection,
+        brute_forcer: BruteForcer,
+        pairs: Set[Tuple[int, int]],
+        stats: JoinStats,
+    ) -> List[int]:
+        """The BRUTEFORCE step (Algorithm 2): returns the records that keep branching.
+
+        Small subproblems are finished exactly (returning an empty list stops
+        the recursion).  In larger subproblems every record whose estimated
+        average similarity to the rest exceeds ``(1 - ε) λ`` is compared to the
+        whole subproblem and removed.  As in the paper's implementation the
+        check is evaluated once per node for all records rather than re-running
+        after each removal.
+        """
+        if len(subset) <= self.config.limit:
+            brute_forcer.pairs(subset, pairs)
+            stats.extra["bruteforce_pairs_calls"] = stats.extra.get("bruteforce_pairs_calls", 0.0) + 1.0
+            return []
+
+        averages = brute_forcer.average_similarities(
+            subset, method=self.config.average_method
+        )
+        cutoff = (1.0 - self.config.epsilon) * self.threshold
+        to_remove = [record_id for record_id, average in zip(subset, averages) if average > cutoff]
+        if to_remove:
+            stats.extra["bruteforce_point_calls"] = stats.extra.get("bruteforce_point_calls", 0.0) + float(len(to_remove))
+            removed_set = set(to_remove)
+            for record_id in to_remove:
+                brute_forcer.point(subset, record_id, pairs)
+            subset = [record_id for record_id in subset if record_id not in removed_set]
+            # Removing records may push the subproblem below the brute-force
+            # limit; Algorithm 2 re-runs itself on the reduced set.
+            if len(subset) <= self.config.limit:
+                brute_forcer.pairs(subset, pairs)
+                stats.extra["bruteforce_pairs_calls"] = stats.extra.get("bruteforce_pairs_calls", 0.0) + 1.0
+                return []
+        return subset
+
+    # ------------------------------------------------------------------ splitting step
+    def _split(
+        self,
+        subset: List[int],
+        collection: PreprocessedCollection,
+        rng: np.random.Generator,
+    ) -> List[List[int]]:
+        """Split a subproblem into buckets (Algorithm 1 with the Section V-A.3 heuristic).
+
+        An expected ``1/λ`` coordinates of the embedding are sampled; for each
+        sampled coordinate the subproblem is partitioned by MinHash value.
+        Records sharing a bucket share the embedded token ``(i, h_i(x))``,
+        exactly as if the splitting hash of Algorithm 1 had selected that
+        token.  Buckets with fewer than two records cannot produce pairs and
+        are dropped.
+        """
+        num_functions = collection.embedding_size
+        # Each coordinate is chosen independently with probability 1/(λ t), so
+        # the expected number of chosen coordinates is 1/λ.
+        probability = min(1.0, 1.0 / (self.threshold * num_functions))
+        chosen = np.flatnonzero(rng.random(num_functions) < probability)
+        if chosen.size == 0:
+            # Guarantee progress: always split on at least one coordinate.
+            chosen = np.array([int(rng.integers(0, num_functions))])
+
+        subset_array = np.asarray(subset, dtype=np.intp)
+        buckets: List[List[int]] = []
+        for coordinate in chosen:
+            values = collection.signatures.matrix[subset_array, coordinate]
+            groups: Dict[int, List[int]] = defaultdict(list)
+            for record_id, value in zip(subset, values):
+                groups[int(value)].append(record_id)
+            for group in groups.values():
+                if len(group) >= 2:
+                    buckets.append(group)
+        return buckets
+
+    # ------------------------------------------------------------------ ablation strategies
+    def _global_depth(self, num_records: int) -> int:
+        """Fixed tree depth for the ``global`` stopping strategy.
+
+        When not supplied explicitly the depth is set to
+        ``⌈ln(n) / ln(1/λ)⌉`` — the depth at which the expected number of
+        tree vertices containing a record, ``(1/λ)^k``, reaches ``n`` and
+        further splitting can no longer pay off.
+        """
+        if self.config.global_depth is not None:
+            return self.config.global_depth
+        return max(1, math.ceil(math.log(max(2, num_records)) / math.log(1.0 / self.threshold)))
+
+    def _recurse_fixed_depth(
+        self,
+        subset: List[int],
+        depth: int,
+        stop_depth: int,
+        collection: PreprocessedCollection,
+        brute_forcer: BruteForcer,
+        rng: np.random.Generator,
+        pairs: Set[Tuple[int, int]],
+        stats: JoinStats,
+    ) -> None:
+        """Classic LSH-style recursion: split until a fixed depth, then brute force."""
+        stats.extra["tree_nodes"] = stats.extra.get("tree_nodes", 0.0) + 1.0
+        stats.extra["max_depth"] = max(stats.extra.get("max_depth", 0.0), float(depth))
+        if len(subset) < 2:
+            return
+        if depth >= stop_depth or len(subset) <= self.config.limit:
+            brute_forcer.pairs(subset, pairs)
+            return
+        for bucket in self._split(subset, collection, rng):
+            self._recurse_fixed_depth(bucket, depth + 1, stop_depth, collection, brute_forcer, rng, pairs, stats)
+
+    def _individual_depths(self, subset: List[int], brute_forcer: BruteForcer) -> np.ndarray:
+        """Per-record stopping depths for the ``individual`` strategy.
+
+        Following the running-time expression of Section IV-C.5 the depth for
+        record ``x`` is chosen to balance ``(1/λ)^k`` against
+        ``Σ_y (sim(x, y)/λ)^k``; a record whose average similarity to the
+        collection is ``s`` gets depth ``k_x ≈ ln(n) / ln(λ/s)`` when
+        ``s < λ`` (records with ``s ≥ λ`` get depth 0, i.e. immediate brute
+        force, which matches the adaptive rule's behaviour for such records).
+        """
+        averages = brute_forcer.average_similarities(subset, method=self.config.average_method)
+        num_records = max(2, len(subset))
+        depths = np.zeros(len(subset), dtype=np.int64)
+        for position, average in enumerate(averages):
+            if average >= self.threshold:
+                depths[position] = 0
+                continue
+            average = max(average, 1e-6)
+            depths[position] = max(
+                1, int(math.ceil(math.log(num_records) / math.log(self.threshold / average)))
+            )
+        return depths
+
+    def _recurse_individual(
+        self,
+        subset: List[int],
+        depth: int,
+        depths: Dict[int, int],
+        collection: PreprocessedCollection,
+        brute_forcer: BruteForcer,
+        rng: np.random.Generator,
+        pairs: Set[Tuple[int, int]],
+        stats: JoinStats,
+    ) -> None:
+        """Per-record fixed-depth recursion (the ``individual`` strategy)."""
+        stats.extra["tree_nodes"] = stats.extra.get("tree_nodes", 0.0) + 1.0
+        stats.extra["max_depth"] = max(stats.extra.get("max_depth", 0.0), float(depth))
+        if len(subset) < 2:
+            return
+        if len(subset) <= self.config.limit or depth >= self.config.max_depth:
+            brute_forcer.pairs(subset, pairs)
+            return
+        # Records whose individual depth has been reached are brute-forced
+        # against the subproblem and removed before splitting.
+        expiring = [record_id for record_id in subset if depths.get(record_id, 0) <= depth]
+        if expiring:
+            for record_id in expiring:
+                brute_forcer.point(subset, record_id, pairs)
+            expiring_set = set(expiring)
+            subset = [record_id for record_id in subset if record_id not in expiring_set]
+            if len(subset) < 2:
+                return
+        for bucket in self._split(subset, collection, rng):
+            self._recurse_individual(bucket, depth + 1, depths, collection, brute_forcer, rng, pairs, stats)
+
+    def run_once_individual(self, collection: PreprocessedCollection, repetition: int = 0) -> JoinResult:
+        """Convenience entry point used by the stopping-strategy ablation."""
+        engine = CPSJoin(self.threshold, self.config.with_overrides(stopping="individual"))
+        return engine.run_once(collection, repetition=repetition)
+
+
+def cpsjoin(
+    records: Sequence[Sequence[int]],
+    threshold: float,
+    config: Optional[CPSJoinConfig] = None,
+) -> JoinResult:
+    """Run CPSJOIN on a record collection (functional convenience wrapper)."""
+    return CPSJoin(threshold, config).join(records)

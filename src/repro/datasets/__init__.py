@@ -1,0 +1,29 @@
+"""Dataset model, synthetic generators, and real-dataset surrogates."""
+
+from repro.datasets.base import Dataset, DatasetStatistics
+from repro.datasets.io import read_dataset, write_dataset
+from repro.datasets.profiles import DATASET_PROFILES, DatasetProfile, generate_profile_dataset
+from repro.datasets.synthetic import (
+    generate_tokens_dataset,
+    generate_uniform_dataset,
+    generate_zipf_dataset,
+    plant_similar_pairs,
+)
+from repro.datasets.transform import deduplicate_records, remove_small_records, shingle_strings
+
+__all__ = [
+    "Dataset",
+    "DatasetStatistics",
+    "read_dataset",
+    "write_dataset",
+    "DATASET_PROFILES",
+    "DatasetProfile",
+    "generate_profile_dataset",
+    "generate_tokens_dataset",
+    "generate_uniform_dataset",
+    "generate_zipf_dataset",
+    "plant_similar_pairs",
+    "deduplicate_records",
+    "remove_small_records",
+    "shingle_strings",
+]

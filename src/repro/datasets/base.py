@@ -1,0 +1,168 @@
+"""Dataset model used by every join and experiment.
+
+A *record* is a set of integer tokens from a universe ``[d]``; a *dataset* is
+an ordered collection of records.  Records are stored as sorted tuples of
+ints, which is the representation the verification kernels, the prefix
+filters, and the hashing layers all expect.
+
+The statistics exposed by :class:`DatasetStatistics` are exactly the columns
+of Table I of the paper: number of sets, average set size, and the average
+number of sets a token is contained in ("sets / tokens"), plus a few extra
+diagnostics (universe size, token-frequency skew) used by the surrogate
+generators and the experiment discussion.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Record", "Dataset", "DatasetStatistics"]
+
+Record = Tuple[int, ...]
+"""A record: a sorted tuple of distinct non-negative integer tokens."""
+
+
+def _normalize_record(tokens: Iterable[int]) -> Record:
+    """Sort and deduplicate tokens, validating that they are non-negative ints."""
+    unique = sorted(set(int(token) for token in tokens))
+    if unique and unique[0] < 0:
+        raise ValueError("tokens must be non-negative integers")
+    return tuple(unique)
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Summary statistics of a dataset (the columns of Table I)."""
+
+    num_records: int
+    universe_size: int
+    average_set_size: float
+    average_sets_per_token: float
+    min_set_size: int
+    max_set_size: int
+    token_frequency_skew: float
+
+    def as_table_row(self) -> Dict[str, float]:
+        """Return the row of Table I for this dataset."""
+        return {
+            "num_sets": self.num_records,
+            "avg_set_size": round(self.average_set_size, 1),
+            "sets_per_token": round(self.average_sets_per_token, 1),
+        }
+
+
+class Dataset:
+    """An ordered collection of token-set records.
+
+    Parameters
+    ----------
+    records:
+        Iterable of token iterables.  Records are normalized to sorted tuples
+        of distinct tokens.
+    name:
+        Optional human-readable name (e.g. ``"NETFLIX"`` for a surrogate).
+    """
+
+    def __init__(self, records: Iterable[Iterable[int]], name: str = "unnamed") -> None:
+        self.name = name
+        self._records: List[Record] = [_normalize_record(record) for record in records]
+        self._token_frequencies: Optional[Counter] = None
+
+    # ------------------------------------------------------------------ basic container protocol
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self._records[index]
+
+    def __repr__(self) -> str:
+        return f"Dataset(name={self.name!r}, num_records={len(self)})"
+
+    @property
+    def records(self) -> List[Record]:
+        """The list of records (sorted tuples of tokens)."""
+        return self._records
+
+    # ------------------------------------------------------------------ derived quantities
+    def token_frequencies(self) -> Counter:
+        """Number of records containing each token (computed once, cached)."""
+        if self._token_frequencies is None:
+            counter: Counter = Counter()
+            for record in self._records:
+                counter.update(record)
+            self._token_frequencies = counter
+        return self._token_frequencies
+
+    def universe_size(self) -> int:
+        """Number of distinct tokens appearing in the dataset."""
+        return len(self.token_frequencies())
+
+    def statistics(self) -> DatasetStatistics:
+        """Compute the Table I statistics for this dataset."""
+        frequencies = self.token_frequencies()
+        num_records = len(self._records)
+        sizes = [len(record) for record in self._records]
+        total_tokens = sum(sizes)
+        universe = len(frequencies)
+        average_set_size = total_tokens / num_records if num_records else 0.0
+        average_sets_per_token = total_tokens / universe if universe else 0.0
+        skew = self._frequency_skew(frequencies)
+        return DatasetStatistics(
+            num_records=num_records,
+            universe_size=universe,
+            average_set_size=average_set_size,
+            average_sets_per_token=average_sets_per_token,
+            min_set_size=min(sizes) if sizes else 0,
+            max_set_size=max(sizes) if sizes else 0,
+            token_frequency_skew=skew,
+        )
+
+    @staticmethod
+    def _frequency_skew(frequencies: Counter) -> float:
+        """A simple skew diagnostic: fraction of token occurrences from the top 1% of tokens."""
+        if not frequencies:
+            return 0.0
+        counts = sorted(frequencies.values(), reverse=True)
+        top = max(1, len(counts) // 100)
+        total = sum(counts)
+        return sum(counts[:top]) / total if total else 0.0
+
+    # ------------------------------------------------------------------ preprocessing
+    def preprocessed(self, minimum_set_size: int = 2, deduplicate: bool = True) -> "Dataset":
+        """Return a copy preprocessed the way the paper's experiments are run.
+
+        Section VI-1: experiments run on versions of the datasets "where
+        duplicate records are removed and any records containing only a single
+        token are ignored".
+        """
+        seen = set()
+        kept: List[Record] = []
+        for record in self._records:
+            if len(record) < minimum_set_size:
+                continue
+            if deduplicate:
+                if record in seen:
+                    continue
+                seen.add(record)
+            kept.append(record)
+        return Dataset(kept, name=self.name)
+
+    def sample(self, num_records: int, seed: Optional[int] = None) -> "Dataset":
+        """Return a uniform random sample of records (without replacement)."""
+        import random
+
+        if num_records >= len(self._records):
+            return Dataset(list(self._records), name=self.name)
+        rng = random.Random(seed)
+        sampled = rng.sample(self._records, num_records)
+        return Dataset(sampled, name=f"{self.name}-sample{num_records}")
+
+    def tokens_sorted_by_frequency(self) -> List[int]:
+        """All tokens ordered from rarest to most frequent (prefix-filter order)."""
+        frequencies = self.token_frequencies()
+        return sorted(frequencies, key=lambda token: (frequencies[token], token))

@@ -1,0 +1,45 @@
+"""Dataset persistence in the Mann et al. interchange format.
+
+The exact-join benchmarking framework the paper builds on stores one record
+per line as whitespace-separated integer tokens.  We read and write the same
+format so datasets can be exchanged with other set-similarity-join tools.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Union
+
+from repro.datasets.base import Dataset
+
+__all__ = ["read_dataset", "write_dataset"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_dataset(path: PathLike, name: str = "") -> Dataset:
+    """Read a dataset from a one-record-per-line token file.
+
+    Blank lines and lines starting with ``#`` are ignored.
+    """
+    path = Path(path)
+    records: List[List[int]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            records.append([int(token) for token in stripped.split()])
+    return Dataset(records, name=name or path.stem)
+
+
+def write_dataset(dataset: Dataset, path: PathLike) -> None:
+    """Write a dataset as one record per line of space-separated tokens."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# dataset: {dataset.name}\n")
+        for record in dataset:
+            handle.write(" ".join(str(token) for token in record))
+            handle.write("\n")

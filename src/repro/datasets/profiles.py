@@ -1,0 +1,176 @@
+"""Scaled-down surrogates for the real-world datasets of Mann et al.
+
+The paper evaluates on ten real-world datasets (AOL, BMS-POS, DBLP, ENRON,
+FLICKR, KOSARAK, LIVEJ, NETFLIX, ORKUT, SPOTIFY) distributed with the
+benchmark of Mann et al.  Those datasets are not redistributable and cannot be
+downloaded in this offline environment, so each one is replaced by a
+*surrogate*: a synthetic collection whose laptop-scale statistics preserve the
+properties that drive the paper's findings:
+
+* the **average set size** (large sets favour CPSJOIN, small sets favour
+  prefix filtering),
+* the **token frequency regime** — whether a typical token appears in a
+  handful of records (rare-token datasets: AOL, FLICKR, SPOTIFY, where
+  ALLPAIRS wins) or in a sizeable fraction of the collection (frequent-token
+  datasets: NETFLIX, DBLP, BMS-POS, UNIFORM, TOKENS, where CPSJOIN wins), and
+* the **token-popularity skew** (Zipf exponent), which controls how much
+  prefix filtering can exploit rare tokens.
+
+Each profile also records the *original* statistics from Table I of the paper
+so the Table I experiment can print both side by side.
+
+Pairs with similarity above the experiment thresholds barely occur in purely
+random collections, so every surrogate plants clusters of near-duplicate
+records across similarities 0.55–0.95 (as the TOKENS datasets do in the
+paper); this provides a non-trivial result set at every threshold and does
+not change which algorithm wins, since all algorithms must report the same
+pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import generate_skewed_dataset, generate_tokens_dataset
+
+__all__ = ["DatasetProfile", "DATASET_PROFILES", "generate_profile_dataset", "generate_all_surrogates"]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Description of one real-world dataset and its laptop-scale surrogate.
+
+    Attributes
+    ----------
+    name:
+        Dataset name as used in the paper.
+    original_num_sets_millions, original_average_set_size, original_sets_per_token:
+        The Table I statistics of the real dataset (for reporting only).
+    surrogate_num_records, surrogate_universe_size, surrogate_average_set_size, surrogate_skew:
+        Parameters of the synthetic surrogate generator.
+    token_regime:
+        ``"rare"`` or ``"frequent"`` — the qualitative regime that the paper's
+        discussion assigns to the dataset (Section VI-A.1 and VII).
+    """
+
+    name: str
+    original_num_sets_millions: float
+    original_average_set_size: float
+    original_sets_per_token: float
+    surrogate_num_records: int
+    surrogate_universe_size: int
+    surrogate_average_set_size: float
+    surrogate_skew: float
+    token_regime: str
+
+    def scaled(self, scale: float) -> "DatasetProfile":
+        """Return a copy with the surrogate size scaled by ``scale`` (≥ 0.05)."""
+        factor = max(0.05, float(scale))
+        return DatasetProfile(
+            name=self.name,
+            original_num_sets_millions=self.original_num_sets_millions,
+            original_average_set_size=self.original_average_set_size,
+            original_sets_per_token=self.original_sets_per_token,
+            surrogate_num_records=max(50, int(self.surrogate_num_records * factor)),
+            surrogate_universe_size=max(20, int(self.surrogate_universe_size * factor) if self.token_regime == "rare" else self.surrogate_universe_size),
+            surrogate_average_set_size=self.surrogate_average_set_size,
+            surrogate_skew=self.surrogate_skew,
+            token_regime=self.token_regime,
+        )
+
+
+# Surrogate parameters.  Universe sizes are chosen so that the average number
+# of records containing a token (= num_records * avg_set_size / universe_size)
+# is small for the rare-token datasets and a sizeable fraction of the
+# collection for the frequent-token datasets, mirroring the "sets / tokens"
+# column of Table I relative to each dataset's collection size.
+DATASET_PROFILES: Dict[str, DatasetProfile] = {
+    "AOL": DatasetProfile("AOL", 7.35, 3.8, 18.9, 4000, 4000, 3.8, 0.9, "rare"),
+    "BMS-POS": DatasetProfile("BMS-POS", 0.32, 9.3, 1797.9, 2500, 120, 9.3, 0.4, "frequent"),
+    "DBLP": DatasetProfile("DBLP", 0.10, 82.7, 1204.4, 1200, 400, 82.7, 0.3, "frequent"),
+    "ENRON": DatasetProfile("ENRON", 0.25, 135.3, 29.8, 900, 3000, 100.0, 0.7, "frequent"),
+    "FLICKR": DatasetProfile("FLICKR", 1.14, 10.8, 16.3, 3000, 4000, 10.8, 0.9, "rare"),
+    "KOSARAK": DatasetProfile("KOSARAK", 0.59, 12.2, 176.3, 2500, 300, 12.2, 0.8, "frequent"),
+    "LIVEJ": DatasetProfile("LIVEJ", 0.30, 37.5, 15.0, 2000, 4000, 37.5, 0.8, "rare"),
+    "NETFLIX": DatasetProfile("NETFLIX", 0.48, 209.8, 5654.4, 1000, 500, 150.0, 0.2, "frequent"),
+    "ORKUT": DatasetProfile("ORKUT", 2.68, 122.2, 37.5, 1200, 3500, 100.0, 0.5, "frequent"),
+    "SPOTIFY": DatasetProfile("SPOTIFY", 0.36, 15.3, 7.4, 3000, 8000, 15.3, 0.8, "rare"),
+    "UNIFORM005": DatasetProfile("UNIFORM005", 0.10, 10.0, 4783.7, 2500, 209, 10.0, 0.0, "frequent"),
+}
+"""All real-dataset surrogates, keyed by the name used in the paper."""
+
+PLANTED_SIMILARITIES: Tuple[float, ...] = (0.95, 0.85, 0.75, 0.65, 0.55)
+"""Similarity levels of the planted near-duplicate clusters (as in TOKENS)."""
+
+
+def generate_profile_dataset(
+    name: str,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    planted_pairs_per_similarity: int = 20,
+) -> Dataset:
+    """Generate the surrogate dataset for a named real-world profile.
+
+    Parameters
+    ----------
+    name:
+        One of the keys of :data:`DATASET_PROFILES` (case-insensitive), or
+        ``"TOKENS10K"`` / ``"TOKENS15K"`` / ``"TOKENS20K"`` for the synthetic
+        TOKENS datasets.
+    scale:
+        Multiplier on the surrogate collection size; experiments use smaller
+        scales for quick runs and ``1.0`` for the reported numbers.
+    seed:
+        Random seed; the same seed always yields the same surrogate.
+    planted_pairs_per_similarity:
+        Number of near-duplicate pairs planted per similarity level.
+    """
+    key = name.upper()
+    if key.startswith("TOKENS"):
+        max_frequency = {"TOKENS10K": 150, "TOKENS15K": 225, "TOKENS20K": 300}.get(key)
+        if max_frequency is None:
+            raise KeyError(f"unknown TOKENS dataset: {name!r}")
+        return generate_tokens_dataset(
+            max_sets_per_token=max(10, int(max_frequency * max(0.05, scale))),
+            universe_size=200,
+            planted_pairs_per_similarity=planted_pairs_per_similarity,
+            seed=seed,
+            name=key,
+        )
+    if key not in DATASET_PROFILES:
+        raise KeyError(f"unknown dataset profile: {name!r}; known: {sorted(DATASET_PROFILES)}")
+    profile = DATASET_PROFILES[key].scaled(scale)
+    dataset = generate_skewed_dataset(
+        num_records=profile.surrogate_num_records,
+        universe_size=profile.surrogate_universe_size,
+        average_set_size=profile.surrogate_average_set_size,
+        skew=profile.surrogate_skew,
+        planted_similarities=PLANTED_SIMILARITIES,
+        planted_pairs_per_similarity=planted_pairs_per_similarity,
+        seed=seed,
+        name=key,
+    )
+    return dataset.preprocessed()
+
+
+def generate_all_surrogates(
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    include_tokens: bool = True,
+) -> Dict[str, Dataset]:
+    """Generate every surrogate dataset used in the experiments.
+
+    Returns a name → dataset mapping covering the ten real-world surrogates,
+    UNIFORM005, and (optionally) the three TOKENS datasets — the same fourteen
+    workloads as Table I of the paper.
+    """
+    names = list(DATASET_PROFILES)
+    if include_tokens:
+        names += ["TOKENS10K", "TOKENS15K", "TOKENS20K"]
+    datasets = {}
+    for offset, name in enumerate(names):
+        dataset_seed = None if seed is None else seed + offset
+        datasets[name] = generate_profile_dataset(name, scale=scale, seed=dataset_seed)
+    return datasets

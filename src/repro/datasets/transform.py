@@ -1,0 +1,75 @@
+"""Record-level transformations: deduplication, filtering, string shingling.
+
+These mirror the preprocessing performed by the Mann et al. framework used in
+the paper's experiments (duplicate removal, singleton removal) and add a
+string-tokenization helper so the examples can run entity-resolution style
+workloads over text records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.datasets.base import Dataset, Record
+
+__all__ = [
+    "deduplicate_records",
+    "remove_small_records",
+    "shingle_strings",
+    "tokenize_strings",
+]
+
+
+def deduplicate_records(dataset: Dataset) -> Dataset:
+    """Remove exact duplicate records, keeping the first occurrence."""
+    seen = set()
+    kept: List[Record] = []
+    for record in dataset:
+        if record in seen:
+            continue
+        seen.add(record)
+        kept.append(record)
+    return Dataset(kept, name=dataset.name)
+
+
+def remove_small_records(dataset: Dataset, minimum_set_size: int = 2) -> Dataset:
+    """Drop records with fewer than ``minimum_set_size`` tokens."""
+    kept = [record for record in dataset if len(record) >= minimum_set_size]
+    return Dataset(kept, name=dataset.name)
+
+
+def shingle_strings(strings: Sequence[str], shingle_length: int = 3) -> Tuple[Dataset, Dict[str, int]]:
+    """Convert strings to sets of character q-gram tokens.
+
+    Returns the dataset together with the shingle-to-token-id vocabulary so
+    callers can map results back to the original text.
+    """
+    if shingle_length < 1:
+        raise ValueError("shingle_length must be positive")
+    vocabulary: Dict[str, int] = {}
+    records: List[List[int]] = []
+    for text in strings:
+        padded = f"{'#' * (shingle_length - 1)}{text.lower()}{'#' * (shingle_length - 1)}"
+        shingles = {padded[i : i + shingle_length] for i in range(len(padded) - shingle_length + 1)}
+        token_ids = []
+        for shingle in sorted(shingles):
+            if shingle not in vocabulary:
+                vocabulary[shingle] = len(vocabulary)
+            token_ids.append(vocabulary[shingle])
+        records.append(token_ids)
+    return Dataset(records, name="shingled"), vocabulary
+
+
+def tokenize_strings(strings: Sequence[str]) -> Tuple[Dataset, Dict[str, int]]:
+    """Convert strings to sets of whitespace-separated word tokens."""
+    vocabulary: Dict[str, int] = {}
+    records: List[List[int]] = []
+    for text in strings:
+        words = {word for word in text.lower().split() if word}
+        token_ids = []
+        for word in sorted(words):
+            if word not in vocabulary:
+                vocabulary[word] = len(vocabulary)
+            token_ids.append(vocabulary[word])
+        records.append(token_ids)
+    return Dataset(records, name="tokenized"), vocabulary

@@ -1,0 +1,18 @@
+"""Evaluation infrastructure: ground truth, recall/precision, experiment runner."""
+
+from repro.evaluation.ground_truth import GroundTruthCache, compute_ground_truth
+from repro.evaluation.metrics import precision, recall, f1_score
+from repro.evaluation.recall import estimate_recall_by_sampling, measure_recall
+from repro.evaluation.runner import ExperimentRunner, JoinMeasurement
+
+__all__ = [
+    "GroundTruthCache",
+    "compute_ground_truth",
+    "precision",
+    "recall",
+    "f1_score",
+    "estimate_recall_by_sampling",
+    "measure_recall",
+    "ExperimentRunner",
+    "JoinMeasurement",
+]

@@ -1,0 +1,47 @@
+"""Ground-truth computation and caching.
+
+The recall of the approximate methods is always measured against the exact
+join result (the paper uses the ALLPAIRS output for this, Section VI-2).
+Computing the exact join is the single most expensive step of the experiment
+harness, so :class:`GroundTruthCache` memoizes it per (dataset, threshold).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set, Tuple
+
+from repro.exact.allpairs import AllPairsJoin
+from repro.result import JoinResult
+
+__all__ = ["compute_ground_truth", "GroundTruthCache"]
+
+Pair = Tuple[int, int]
+
+
+def compute_ground_truth(records: Sequence[Sequence[int]], threshold: float) -> JoinResult:
+    """Exact join result used as ground truth (computed with ALLPAIRS)."""
+    return AllPairsJoin(threshold).join([tuple(record) for record in records])
+
+
+class GroundTruthCache:
+    """Memoizes exact join results keyed by a dataset label and threshold."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[str, float], JoinResult] = {}
+
+    def get(self, label: str, records: Sequence[Sequence[int]], threshold: float) -> JoinResult:
+        """Return the cached exact result, computing it on first use."""
+        key = (label, round(threshold, 6))
+        if key not in self._cache:
+            self._cache[key] = compute_ground_truth(records, threshold)
+        return self._cache[key]
+
+    def pairs(self, label: str, records: Sequence[Sequence[int]], threshold: float) -> Set[Pair]:
+        """Convenience accessor returning only the ground-truth pair set."""
+        return self.get(label, records, threshold).pairs
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,48 @@
+"""Precision / recall / F1 over pair sets.
+
+The paper's quality measures (Section I): precision
+``|(R ⋈ S) ∩ T| / |T|`` and recall ``|(R ⋈ S) ∩ T| / |R ⋈ S|``, specialized
+here to comparing a reported pair set against a ground-truth pair set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from repro.result import canonical_pair
+
+__all__ = ["recall", "precision", "f1_score", "normalize_pairs"]
+
+Pair = Tuple[int, int]
+
+
+def normalize_pairs(pairs: Iterable[Pair]) -> Set[Pair]:
+    """Canonicalize a pair collection so ``(i, j)`` and ``(j, i)`` compare equal."""
+    return {canonical_pair(first, second) for first, second in pairs}
+
+
+def recall(reported: Iterable[Pair], ground_truth: Iterable[Pair]) -> float:
+    """Fraction of ground-truth pairs that were reported (1.0 for empty truth)."""
+    truth = normalize_pairs(ground_truth)
+    if not truth:
+        return 1.0
+    found = normalize_pairs(reported)
+    return sum(1 for pair in truth if pair in found) / len(truth)
+
+
+def precision(reported: Iterable[Pair], ground_truth: Iterable[Pair]) -> float:
+    """Fraction of reported pairs that are in the ground truth (1.0 for empty report)."""
+    found = normalize_pairs(reported)
+    if not found:
+        return 1.0
+    truth = normalize_pairs(ground_truth)
+    return sum(1 for pair in found if pair in truth) / len(found)
+
+
+def f1_score(reported: Iterable[Pair], ground_truth: Iterable[Pair]) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(reported, ground_truth)
+    r = recall(reported, ground_truth)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)

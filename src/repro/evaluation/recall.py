@@ -1,0 +1,49 @@
+"""Recall measurement, exact and sampled.
+
+Section VI-2 of the paper notes that measuring recall against the full exact
+result is not feasible in production (the true result set is unknown) but
+that it "can be efficiently estimated using sampling if it is not too small".
+Both approaches are provided: :func:`measure_recall` against a known ground
+truth, and :func:`estimate_recall_by_sampling`, which verifies a random
+sample of ground-truth pairs only — the estimator the paper alludes to.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.evaluation.metrics import normalize_pairs, recall as exact_recall
+
+__all__ = ["measure_recall", "estimate_recall_by_sampling"]
+
+Pair = Tuple[int, int]
+
+
+def measure_recall(reported: Iterable[Pair], ground_truth: Iterable[Pair]) -> float:
+    """Exact recall of a reported pair set against the full ground truth."""
+    return exact_recall(reported, ground_truth)
+
+
+def estimate_recall_by_sampling(
+    reported: Iterable[Pair],
+    ground_truth: Iterable[Pair],
+    sample_size: int = 100,
+    seed: Optional[int] = None,
+) -> float:
+    """Estimate recall by checking a uniform sample of ground-truth pairs.
+
+    The estimator is unbiased; its standard error is at most
+    ``1 / (2 sqrt(sample_size))``.  With the default sample of 100 pairs the
+    estimate is within ±0.05 of the true recall with ~68 % confidence, which
+    is adequate for the stop-when-recall-reached protocol of the experiments.
+    """
+    truth = list(normalize_pairs(ground_truth))
+    if not truth:
+        return 1.0
+    if sample_size <= 0:
+        raise ValueError("sample_size must be positive")
+    rng = random.Random(seed)
+    sample = truth if len(truth) <= sample_size else rng.sample(truth, sample_size)
+    found = normalize_pairs(reported)
+    return sum(1 for pair in sample if pair in found) / len(sample)

@@ -1,0 +1,81 @@
+"""Export of experiment measurements to CSV and Markdown.
+
+The experiment modules produce lists of row dictionaries; this module turns
+them into artifacts that can be committed or diffed: CSV files for further
+analysis and Markdown tables for inclusion in EXPERIMENTS.md-style reports.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["rows_to_csv", "rows_to_markdown", "write_csv", "write_markdown", "measurements_to_rows"]
+
+PathLike = Union[str, Path]
+
+
+def _columns_of(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]]) -> List[str]:
+    if columns is not None:
+        return list(columns)
+    seen: List[str] = []
+    for row in rows:
+        for column in row:
+            if column not in seen:
+                seen.append(column)
+    return seen
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as CSV text (header + one line per row)."""
+    columns = _columns_of(rows, columns)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({column: row.get(column, "") for column in columns})
+    return buffer.getvalue()
+
+
+def rows_to_markdown(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    columns = _columns_of(rows, columns)
+    if not columns:
+        return "(no data)"
+    header = "| " + " | ".join(str(column) for column in columns) + " |"
+    separator = "| " + " | ".join("---" for _ in columns) + " |"
+    lines = [header, separator]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row.get(column, "")) for column in columns) + " |")
+    return "\n".join(lines)
+
+
+def write_csv(rows: Sequence[Mapping[str, object]], path: PathLike, columns: Optional[Sequence[str]] = None) -> Path:
+    """Write rows to a CSV file, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rows_to_csv(rows, columns), encoding="utf-8")
+    return path
+
+
+def write_markdown(
+    rows: Sequence[Mapping[str, object]],
+    path: PathLike,
+    title: Optional[str] = None,
+    columns: Optional[Sequence[str]] = None,
+) -> Path:
+    """Write rows to a Markdown file with an optional title heading."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    body = rows_to_markdown(rows, columns)
+    if title:
+        body = f"# {title}\n\n{body}\n"
+    path.write_text(body, encoding="utf-8")
+    return path
+
+
+def measurements_to_rows(measurements: Iterable) -> List[Mapping[str, object]]:
+    """Convert :class:`repro.evaluation.runner.JoinMeasurement` objects to rows."""
+    return [measurement.as_row() for measurement in measurements]

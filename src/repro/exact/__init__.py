@@ -1,0 +1,26 @@
+"""Exact set similarity join algorithms (100% recall baselines).
+
+* :mod:`repro.exact.naive` — quadratic brute-force join, used as ground truth.
+* :mod:`repro.exact.allpairs` — ALLPAIRS (Bayardo et al.), the paper's main
+  exact baseline and the overall winner of the Mann et al. study.
+* :mod:`repro.exact.ppjoin` — PPJOIN (Xiao et al.), prefix filtering with the
+  additional positional filter.
+* :mod:`repro.exact.inverted_index` / :mod:`repro.exact.prefix_filter` — the
+  shared substrate (frequency-ordered token remapping, prefix computation,
+  inverted index over prefixes).
+"""
+
+from repro.exact.allpairs import AllPairsJoin, all_pairs_join
+from repro.exact.naive import naive_join
+from repro.exact.ppjoin import PPJoin, ppjoin
+from repro.exact.prefix_filter import FrequencyOrder, prefix_length
+
+__all__ = [
+    "AllPairsJoin",
+    "all_pairs_join",
+    "naive_join",
+    "PPJoin",
+    "ppjoin",
+    "FrequencyOrder",
+    "prefix_length",
+]

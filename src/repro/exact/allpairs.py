@@ -1,0 +1,108 @@
+"""ALLPAIRS exact set similarity join (Bayardo, Ma, Srikant).
+
+ALLPAIRS is the paper's exact baseline: the Mann et al. study found that this
+optimized prefix-filtering algorithm is "always competitive within a factor
+2.16, and most often the fastest" among seven exact methods, which is why the
+paper compares CPSJOIN against it (Section V-C).
+
+The implementation follows the standard formulation for Jaccard thresholds:
+
+1. tokens are globally ordered from rarest to most frequent and records are
+   re-expressed in that order (:class:`repro.exact.prefix_filter.FrequencyOrder`);
+2. records are processed in non-decreasing size order; each record first
+   *probes* the inverted lists of its probing prefix (length
+   ``|x| - ⌈λ|x|⌉ + 1``), applying the length filter ``|y| ≥ λ|x|`` to every
+   posting, and then *indexes* its mid-prefix
+   (length ``|x| - ⌈2λ/(1+λ)|x|⌉ + 1``);
+3. unique candidates are verified with the early-terminating merge kernel.
+
+Instrumentation matches Table IV of the paper: *pre-candidates* are postings
+that pass the size probe, *candidates* are the distinct record pairs handed to
+verification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.exact.inverted_index import InvertedIndex
+from repro.exact.prefix_filter import (
+    FrequencyOrder,
+    index_prefix_length,
+    minimum_compatible_size,
+    prefix_length,
+)
+from repro.result import JoinResult, JoinStats, Timer, canonical_pair
+from repro.similarity.verify import verify_pair_sorted
+
+__all__ = ["AllPairsJoin", "all_pairs_join"]
+
+
+class AllPairsJoin:
+    """Reusable ALLPAIRS join engine.
+
+    Parameters
+    ----------
+    threshold:
+        Jaccard similarity threshold ``λ`` in ``(0, 1]``.
+    """
+
+    def __init__(self, threshold: float) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.threshold = threshold
+
+    def join(self, records: Sequence[Sequence[int]]) -> JoinResult:
+        """Compute the exact self-join of ``records`` at the configured threshold."""
+        stats = JoinStats(algorithm="ALLPAIRS", threshold=self.threshold, num_records=len(records))
+        pairs: Set[Tuple[int, int]] = set()
+
+        with Timer() as preprocess_timer:
+            order = FrequencyOrder([tuple(record) for record in records])
+            ranked = order.rank_records([tuple(record) for record in records])
+            # Process records from smallest to largest so the length filter and
+            # the mid-prefix indexing are valid; keep original indices around.
+            processing_order = sorted(range(len(records)), key=lambda index: len(ranked[index]))
+        stats.preprocessing_seconds = preprocess_timer.elapsed
+
+        index = InvertedIndex()
+        with Timer() as timer:
+            for record_id in processing_order:
+                record = ranked[record_id]
+                size = len(record)
+                if size == 0:
+                    continue
+                min_size = minimum_compatible_size(size, self.threshold)
+                probe_prefix = prefix_length(size, self.threshold)
+
+                # ---- candidate generation: scan the lists of the probing prefix.
+                candidate_ids: Set[int] = set()
+                for position in range(min(probe_prefix, size)):
+                    token = record[position]
+                    for posting in index.postings(token):
+                        if posting.record_size < min_size:
+                            continue
+                        stats.pre_candidates += 1
+                        candidate_ids.add(posting.record_id)
+
+                # ---- verification of distinct candidates.
+                for other_id in candidate_ids:
+                    stats.candidates += 1
+                    stats.verified += 1
+                    accepted, _ = verify_pair_sorted(record, ranked[other_id], self.threshold)
+                    if accepted:
+                        pairs.add(canonical_pair(record_id, other_id))
+
+                # ---- index the mid-prefix of this record for later probes.
+                for position in range(min(index_prefix_length(size, self.threshold), size)):
+                    index.add(record[position], record_id, size, position)
+
+        stats.results = len(pairs)
+        stats.elapsed_seconds = timer.elapsed
+        stats.extra["index_postings"] = float(index.num_postings)
+        return JoinResult(pairs=pairs, stats=stats)
+
+
+def all_pairs_join(records: Sequence[Sequence[int]], threshold: float) -> JoinResult:
+    """Functional convenience wrapper around :class:`AllPairsJoin`."""
+    return AllPairsJoin(threshold).join(records)

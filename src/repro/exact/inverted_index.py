@@ -1,0 +1,69 @@
+"""Inverted index over token prefixes.
+
+The exact joins build their candidate sets by scanning, for each probing
+record, the inverted lists of the tokens in its prefix.  The index stores, per
+token, the list of (record id, record size, position of the token within the
+record) triples of previously indexed records — the position is only needed by
+PPJOIN's positional filter but storing it unconditionally keeps the index
+shared between the algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import DefaultDict, Dict, Iterator, List, Sequence, Tuple
+
+__all__ = ["InvertedIndex", "Posting"]
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One entry of an inverted list."""
+
+    record_id: int
+    record_size: int
+    token_position: int
+
+
+class InvertedIndex:
+    """Token → postings mapping built incrementally while joining.
+
+    The exact joins follow the standard index-while-probing pattern: records
+    are processed in non-decreasing size order, each record first probes the
+    lists of its probing prefix, then appends itself to the lists of its
+    indexing prefix.  Because of that ordering, every posting a probe sees
+    refers to a record no larger than the probing record.
+    """
+
+    def __init__(self) -> None:
+        self._lists: DefaultDict[int, List[Posting]] = defaultdict(list)
+        self._num_postings = 0
+
+    def add(self, token: int, record_id: int, record_size: int, token_position: int) -> None:
+        """Append a posting to the list of ``token``."""
+        self._lists[token].append(Posting(record_id, record_size, token_position))
+        self._num_postings += 1
+
+    def postings(self, token: int) -> List[Posting]:
+        """The (possibly empty) inverted list of ``token``."""
+        return self._lists.get(token, [])
+
+    def __contains__(self, token: int) -> bool:
+        return token in self._lists
+
+    def __len__(self) -> int:
+        """Number of distinct tokens with a non-empty list."""
+        return len(self._lists)
+
+    @property
+    def num_postings(self) -> int:
+        """Total number of postings across all lists."""
+        return self._num_postings
+
+    def list_lengths(self) -> Dict[int, int]:
+        """Length of every inverted list (diagnostics for the experiments)."""
+        return {token: len(postings) for token, postings in self._lists.items()}
+
+    def iter_tokens(self) -> Iterator[int]:
+        return iter(self._lists)

@@ -1,0 +1,68 @@
+"""Figure 2 — join-time speedup of CPSJOIN over ALLPAIRS per threshold.
+
+The figure in the paper plots, for every dataset, the ratio of the ALLPAIRS
+join time to the CPSJOIN join time (at ≥ 90 % recall) against the similarity
+threshold on a log scale.  The reproduction computes the same series; the
+expected qualitative shape is that frequent-token datasets (NETFLIX, DBLP,
+UNIFORM, TOKENS*) sit well above 1× with the largest speedups at the lowest
+thresholds, while rare-token datasets (AOL, FLICKR, SPOTIFY) sit at or below
+1×.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation.runner import ExperimentRunner
+from repro.experiments.common import (
+    CORE_DATASET_NAMES,
+    PAPER_THRESHOLDS,
+    QUICK_SCALE,
+    format_table,
+    load_datasets,
+    make_parser,
+)
+
+__all__ = ["run", "main"]
+
+
+def run(
+    names: Optional[Sequence[str]] = None,
+    thresholds: Sequence[float] = PAPER_THRESHOLDS,
+    scale: float = QUICK_SCALE,
+    seed: int = 42,
+    target_recall: float = 0.9,
+) -> List[Dict[str, object]]:
+    """Compute the Figure 2 series: one row per dataset, one speedup column per threshold."""
+    datasets = load_datasets(names or CORE_DATASET_NAMES, scale=scale, seed=seed)
+    runner = ExperimentRunner(target_recall=target_recall, seed=seed)
+    rows: List[Dict[str, object]] = []
+    for dataset_name, dataset in datasets.items():
+        row: Dict[str, object] = {"dataset": dataset_name}
+        for threshold in thresholds:
+            exact = runner.run_allpairs(dataset, threshold)
+            approximate = runner.run_cpsjoin(dataset, threshold)
+            if approximate.join_seconds > 0:
+                speedup = exact.join_seconds / approximate.join_seconds
+            else:
+                speedup = float("inf")
+            row[f"speedup@{threshold}"] = round(speedup, 2)
+        rows.append(row)
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """Print the Figure 2 speedup series."""
+    parser = make_parser("Figure 2: CPSJOIN speedup over ALLPAIRS per threshold (>=90% recall)")
+    args = parser.parse_args(argv)
+    names = args.datasets
+    if names is None:
+        from repro.experiments.common import ALL_DATASET_NAMES
+
+        names = ALL_DATASET_NAMES if args.full else CORE_DATASET_NAMES
+    rows = run(names=names, scale=args.scale, seed=args.seed)
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,160 @@
+"""Figure 3 — sensitivity of the CPSJOIN join time to its parameters.
+
+Three sweeps at threshold λ = 0.5 and a target recall of at least 80 %
+(Section VI-B):
+
+* **Figure 3a** — the brute-force limit ``limit ∈ {10, 50, 100, 250, 500}``;
+* **Figure 3b** — the brute-force aggressiveness ``ε ∈ {0.0, …, 0.5}``;
+* **Figure 3c** — the sketch length in 64-bit words ``ℓ ∈ {1, 2, 4, 8, 16}``.
+
+As in the paper, times are reported *relative* to an index setting
+(``limit = 250``, ``ε = 0.1``, ``ℓ = 8``) so the shapes are comparable across
+datasets.  Expected shapes: join time grows for very small ``limit``, is
+stable for 100–500; grows with ``ε``; one-word sketches are worse than two or
+more words.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import CPSJoinConfig
+from repro.evaluation.runner import ExperimentRunner
+from repro.experiments.common import QUICK_SCALE, format_table, load_datasets, make_parser
+
+__all__ = ["run", "sweep_limit", "sweep_epsilon", "sweep_sketch_words", "main"]
+
+LIMIT_VALUES = (10, 50, 100, 250, 500)
+EPSILON_VALUES = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+SKETCH_WORD_VALUES = (1, 2, 4, 8, 16)
+
+INDEX_LIMIT = 250
+INDEX_EPSILON = 0.1
+INDEX_SKETCH_WORDS = 8
+
+DEFAULT_SWEEP_DATASETS = ("BMS-POS", "DBLP", "NETFLIX", "UNIFORM005")
+"""Frequent-token datasets on which the parameters matter most (quick default)."""
+
+
+def _sweep(
+    parameter_name: str,
+    values: Sequence[object],
+    index_value: object,
+    make_config,
+    names: Optional[Sequence[str]],
+    scale: float,
+    seed: int,
+    target_recall: float,
+    threshold: float,
+) -> List[Dict[str, object]]:
+    """Run one parameter sweep and report join times relative to the index value."""
+    datasets = load_datasets(names or DEFAULT_SWEEP_DATASETS, scale=scale, seed=seed)
+    runner = ExperimentRunner(target_recall=target_recall, seed=seed)
+    rows: List[Dict[str, object]] = []
+    for dataset_name, dataset in datasets.items():
+        timings: Dict[object, float] = {}
+        for value in values:
+            measurement = runner.run_cpsjoin(dataset, threshold, config=make_config(value))
+            timings[value] = measurement.join_seconds
+        index_time = timings.get(index_value) or min(time for time in timings.values() if time > 0)
+        row: Dict[str, object] = {"dataset": dataset_name, "parameter": parameter_name}
+        for value in values:
+            relative = timings[value] / index_time if index_time > 0 else float("inf")
+            row[f"{parameter_name}={value}"] = round(relative, 2)
+        rows.append(row)
+    return rows
+
+
+def sweep_limit(
+    names: Optional[Sequence[str]] = None,
+    scale: float = QUICK_SCALE,
+    seed: int = 42,
+    target_recall: float = 0.8,
+    threshold: float = 0.5,
+    values: Sequence[int] = LIMIT_VALUES,
+) -> List[Dict[str, object]]:
+    """Figure 3a: relative join time as a function of the brute-force limit."""
+    return _sweep(
+        "limit",
+        list(values),
+        INDEX_LIMIT,
+        lambda value: CPSJoinConfig(limit=int(value)),
+        names,
+        scale,
+        seed,
+        target_recall,
+        threshold,
+    )
+
+
+def sweep_epsilon(
+    names: Optional[Sequence[str]] = None,
+    scale: float = QUICK_SCALE,
+    seed: int = 42,
+    target_recall: float = 0.8,
+    threshold: float = 0.5,
+    values: Sequence[float] = EPSILON_VALUES,
+) -> List[Dict[str, object]]:
+    """Figure 3b: relative join time as a function of the aggressiveness ε."""
+    return _sweep(
+        "epsilon",
+        list(values),
+        INDEX_EPSILON,
+        lambda value: CPSJoinConfig(epsilon=float(value)),
+        names,
+        scale,
+        seed,
+        target_recall,
+        threshold,
+    )
+
+
+def sweep_sketch_words(
+    names: Optional[Sequence[str]] = None,
+    scale: float = QUICK_SCALE,
+    seed: int = 42,
+    target_recall: float = 0.8,
+    threshold: float = 0.5,
+    values: Sequence[int] = SKETCH_WORD_VALUES,
+) -> List[Dict[str, object]]:
+    """Figure 3c: relative join time as a function of the sketch length ℓ (words)."""
+    return _sweep(
+        "sketch_words",
+        list(values),
+        INDEX_SKETCH_WORDS,
+        lambda value: CPSJoinConfig(sketch_words=int(value)),
+        names,
+        scale,
+        seed,
+        target_recall,
+        threshold,
+    )
+
+
+def run(
+    names: Optional[Sequence[str]] = None,
+    scale: float = QUICK_SCALE,
+    seed: int = 42,
+    target_recall: float = 0.8,
+    threshold: float = 0.5,
+) -> Dict[str, List[Dict[str, object]]]:
+    """Run all three sweeps and return them keyed ``"3a"``, ``"3b"``, ``"3c"``."""
+    return {
+        "3a": sweep_limit(names, scale, seed, target_recall, threshold),
+        "3b": sweep_epsilon(names, scale, seed, target_recall, threshold),
+        "3c": sweep_sketch_words(names, scale, seed, target_recall, threshold),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """Print the three Figure 3 parameter sweeps."""
+    parser = make_parser("Figure 3: CPSJOIN parameter sensitivity (relative join time, λ=0.5, >=80% recall)")
+    args = parser.parse_args(argv)
+    results = run(names=args.datasets, scale=args.scale, seed=args.seed)
+    for figure, rows in results.items():
+        print(f"\n== Figure {figure} ==")
+        print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

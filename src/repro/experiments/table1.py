@@ -1,0 +1,67 @@
+"""Table I — dataset size, average set size, and average sets per token.
+
+For every workload the module reports the statistics of the generated
+surrogate next to the original statistics from the paper, so the reader can
+see both what the paper measured and what the scaled-down reproduction
+actually joins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.datasets.profiles import DATASET_PROFILES
+from repro.experiments.common import ALL_DATASET_NAMES, format_table, load_datasets, make_parser
+
+__all__ = ["run", "main"]
+
+_PAPER_TOKENS_STATS = {
+    "TOKENS10K": (0.03, 339.4, 10000.0),
+    "TOKENS15K": (0.04, 337.5, 15000.0),
+    "TOKENS20K": (0.06, 335.7, 20000.0),
+}
+
+
+def run(
+    names: Optional[Sequence[str]] = None,
+    scale: float = 0.3,
+    seed: int = 42,
+) -> List[Dict[str, object]]:
+    """Compute the Table I rows for the requested datasets."""
+    datasets = load_datasets(names or ALL_DATASET_NAMES, scale=scale, seed=seed)
+    rows: List[Dict[str, object]] = []
+    for name, dataset in datasets.items():
+        statistics = dataset.statistics()
+        if name in DATASET_PROFILES:
+            profile = DATASET_PROFILES[name]
+            paper_sets = profile.original_num_sets_millions
+            paper_avg = profile.original_average_set_size
+            paper_spt = profile.original_sets_per_token
+        else:
+            paper_sets, paper_avg, paper_spt = _PAPER_TOKENS_STATS[name]
+        rows.append(
+            {
+                "dataset": name,
+                "paper_sets_millions": paper_sets,
+                "paper_avg_set_size": paper_avg,
+                "paper_sets_per_token": paper_spt,
+                "surrogate_sets": statistics.num_records,
+                "surrogate_avg_set_size": round(statistics.average_set_size, 1),
+                "surrogate_sets_per_token": round(statistics.average_sets_per_token, 1),
+                "surrogate_universe": statistics.universe_size,
+            }
+        )
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """Print Table I for the surrogate datasets."""
+    parser = make_parser("Table I: dataset statistics (paper vs surrogate)")
+    args = parser.parse_args(argv)
+    names = args.datasets or ALL_DATASET_NAMES
+    rows = run(names=names, scale=args.scale, seed=args.seed)
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""TOKENS scaling study (Section VI-A.3).
+
+The paper argues that on the TOKENS datasets the speedup of CPSJOIN over
+ALLPAIRS can be made arbitrarily large by increasing the number of sets each
+token appears in: going from TOKENS10K to TOKENS20K roughly doubles every
+ALLPAIRS inverted list while leaving the result set essentially unchanged.
+This experiment measures the CP and ALL join times on the three TOKENS
+surrogates at two thresholds and reports the speedup, which should increase
+monotonically from TOKENS10K to TOKENS20K and be larger at the higher
+threshold (the paper's second observation: the speedup grows with the gap
+between the reported similarity and the background similarity of 0.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation.runner import ExperimentRunner
+from repro.experiments.common import QUICK_SCALE, format_table, load_datasets, make_parser
+
+__all__ = ["run", "main"]
+
+TOKENS_DATASETS = ("TOKENS10K", "TOKENS15K", "TOKENS20K")
+DEFAULT_THRESHOLDS = (0.5, 0.8)
+
+
+def run(
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+    scale: float = QUICK_SCALE,
+    seed: int = 42,
+    target_recall: float = 0.9,
+) -> List[Dict[str, object]]:
+    """Measure CP vs ALL on the TOKENS surrogates and report the speedups."""
+    datasets = load_datasets(TOKENS_DATASETS, scale=scale, seed=seed)
+    runner = ExperimentRunner(target_recall=target_recall, seed=seed)
+    rows: List[Dict[str, object]] = []
+    for dataset_name in TOKENS_DATASETS:
+        dataset = datasets[dataset_name]
+        row: Dict[str, object] = {"dataset": dataset_name, "num_records": len(dataset)}
+        for threshold in thresholds:
+            exact = runner.run_allpairs(dataset, threshold)
+            approximate = runner.run_cpsjoin(dataset, threshold)
+            speedup = exact.join_seconds / approximate.join_seconds if approximate.join_seconds > 0 else float("inf")
+            row[f"ALL_seconds@{threshold}"] = round(exact.join_seconds, 3)
+            row[f"CP_seconds@{threshold}"] = round(approximate.join_seconds, 3)
+            row[f"speedup@{threshold}"] = round(speedup, 2)
+        rows.append(row)
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """Print the TOKENS scaling table."""
+    parser = make_parser("TOKENS scaling: CPSJOIN speedup over ALLPAIRS as token frequency grows")
+    args = parser.parse_args(argv)
+    rows = run(scale=args.scale, seed=args.seed)
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

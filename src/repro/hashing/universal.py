@@ -1,0 +1,80 @@
+"""Universal hashing helpers.
+
+Two small hash families used by the CPSJOIN recursion and by the MinHash LSH
+baseline:
+
+* :class:`MultiplyShiftHash` — the classic 2-universal multiply-shift scheme
+  mapping 32-bit keys to ``b``-bit values.
+* :class:`UniformHash` — a hash function ``r : [d] -> [0, 1)`` as used in the
+  pseudocode of Algorithm 1 (``if r(j) < 1/(λ|x|)``), implemented on top of
+  multiply-shift so it is cheap and reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["MultiplyShiftHash", "UniformHash"]
+
+_WORD_BITS = 64
+
+
+class MultiplyShiftHash:
+    """2-universal multiply-shift hashing from 32-bit keys to ``bits``-bit values.
+
+    ``h(x) = ((a * x + b) mod 2^64) >> (64 - bits)`` with odd random ``a``.
+    """
+
+    def __init__(self, bits: int = 32, rng: Optional[np.random.Generator] = None) -> None:
+        if not 1 <= bits <= 64:
+            raise ValueError("bits must be between 1 and 64")
+        if rng is None:
+            rng = np.random.default_rng()
+        self.bits = bits
+        self._multiplier = np.uint64(int(rng.integers(0, 2**64, dtype=np.uint64)) | 1)
+        self._addend = np.uint64(int(rng.integers(0, 2**64, dtype=np.uint64)))
+        self._shift = np.uint64(_WORD_BITS - bits)
+
+    def hash_one(self, key: int) -> int:
+        """Hash a single non-negative integer key."""
+        key64 = np.uint64(key & 0xFFFFFFFF)
+        with np.errstate(over="ignore"):
+            mixed = self._multiplier * key64 + self._addend
+        return int(mixed >> self._shift)
+
+    def hash_many(self, keys: np.ndarray) -> np.ndarray:
+        """Hash an array of non-negative integer keys."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            mixed = self._multiplier * keys + self._addend
+        return mixed >> self._shift
+
+    def __call__(self, key: int) -> int:
+        return self.hash_one(key)
+
+
+class UniformHash:
+    """A hash function mapping keys to pseudo-uniform values in ``[0, 1)``.
+
+    The CPSJOIN recursion (Algorithm 1, line 6) includes token ``j`` in the
+    splitting step when ``r(j) < 1 / (λ |x|)``.  This class provides exactly
+    that ``r``: deterministic per key for a fixed instance, independent across
+    instances.
+    """
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._hash = MultiplyShiftHash(bits=53, rng=rng)
+        self._scale = float(2**53)
+
+    def value(self, key: int) -> float:
+        """Return the pseudo-uniform value in ``[0, 1)`` associated with ``key``."""
+        return self._hash.hash_one(key) / self._scale
+
+    def values(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized version of :meth:`value`."""
+        return self._hash.hash_many(keys).astype(np.float64) / self._scale
+
+    def __call__(self, key: int) -> float:
+        return self.value(key)

@@ -1,0 +1,19 @@
+"""Similarity search indexes related to CPSJOIN.
+
+CPSJOIN is derived from the Chosen Path *index* for approximate set
+similarity search (Christiani & Pagh, STOC 2017 — reference [5] of the
+paper).  This subpackage provides query-time counterparts of the join
+algorithms, useful when one collection is indexed once and probed many times
+(e.g. streaming deduplication against a reference collection):
+
+* :class:`repro.index.chosen_path.ChosenPathIndex` — the Chosen Path index:
+  a forest of random token-trees; a query walks the same trees and verifies
+  the records it collides with.
+* :class:`repro.index.minhash_lsh.MinHashLSHIndex` — classic MinHash LSH
+  banding index, the baseline the Chosen Path index improves upon.
+"""
+
+from repro.index.chosen_path import ChosenPathIndex
+from repro.index.minhash_lsh import MinHashLSHIndex
+
+__all__ = ["ChosenPathIndex", "MinHashLSHIndex"]

@@ -1,0 +1,127 @@
+"""Shared result and instrumentation types for every join algorithm.
+
+Every join in the repository — exact or approximate — returns a
+:class:`JoinResult` holding the reported pairs together with a
+:class:`JoinStats` record.  The statistics fields follow the definitions used
+for Table IV of the paper:
+
+* **pre-candidates** — every pair the algorithm looks at before any filtering
+  (for ALLPAIRS: pairs passing the size-compatibility probe on the inverted
+  lists; for CPSJOIN: every pair considered by the BRUTEFORCEPAIRS /
+  BRUTEFORCEPOINT subroutines).
+* **candidates** — pairs passed to the exact verification step (after the
+  size check and, for the approximate methods, the 1-bit minwise sketch
+  check).  For CPSJOIN candidates may contain duplicates, as in the paper.
+* **results** — pairs whose exact similarity meets the threshold.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["JoinStats", "JoinResult", "Timer", "canonical_pair"]
+
+Pair = Tuple[int, int]
+
+
+def canonical_pair(first: int, second: int) -> Pair:
+    """Return the pair ordered so the smaller index comes first."""
+    if first == second:
+        raise ValueError("a record cannot be joined with itself")
+    return (first, second) if first < second else (second, first)
+
+
+@dataclass
+class JoinStats:
+    """Counters and timings collected while running a join."""
+
+    algorithm: str = ""
+    threshold: float = 0.0
+    num_records: int = 0
+    pre_candidates: int = 0
+    candidates: int = 0
+    verified: int = 0
+    results: int = 0
+    repetitions: int = 1
+    elapsed_seconds: float = 0.0
+    preprocessing_seconds: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def merge(self, other: "JoinStats") -> None:
+        """Accumulate counters from another run (used by the repetition driver)."""
+        self.pre_candidates += other.pre_candidates
+        self.candidates += other.candidates
+        self.verified += other.verified
+        self.elapsed_seconds += other.elapsed_seconds
+        self.repetitions += other.repetitions
+        for key, value in other.extra.items():
+            if key.startswith("max_"):
+                # Depth-style counters report the maximum across runs, not the sum.
+                self.extra[key] = max(self.extra.get(key, 0.0), value)
+            else:
+                self.extra[key] = self.extra.get(key, 0.0) + value
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten the statistics into a plain dictionary (for reports/CSV)."""
+        flat: Dict[str, float] = {
+            "algorithm": self.algorithm,
+            "threshold": self.threshold,
+            "num_records": self.num_records,
+            "pre_candidates": self.pre_candidates,
+            "candidates": self.candidates,
+            "verified": self.verified,
+            "results": self.results,
+            "repetitions": self.repetitions,
+            "elapsed_seconds": self.elapsed_seconds,
+            "preprocessing_seconds": self.preprocessing_seconds,
+        }
+        flat.update(self.extra)
+        return flat
+
+
+@dataclass
+class JoinResult:
+    """The output of a similarity join: reported pairs plus statistics."""
+
+    pairs: Set[Pair]
+    stats: JoinStats
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return canonical_pair(*pair) in self.pairs
+
+    def recall_against(self, ground_truth: Iterable[Pair]) -> float:
+        """Recall of this result against a ground-truth pair collection."""
+        truth = {canonical_pair(*pair) for pair in ground_truth}
+        if not truth:
+            return 1.0
+        found = sum(1 for pair in truth if pair in self.pairs)
+        return found / len(truth)
+
+    def precision_against(self, ground_truth: Iterable[Pair]) -> float:
+        """Precision of this result against a ground-truth pair collection."""
+        if not self.pairs:
+            return 1.0
+        truth = {canonical_pair(*pair) for pair in ground_truth}
+        correct = sum(1 for pair in self.pairs if pair in truth)
+        return correct / len(self.pairs)
+
+
+class Timer:
+    """Context manager measuring wall-clock time into a float attribute."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start

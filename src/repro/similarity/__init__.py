@@ -1,0 +1,29 @@
+"""Similarity measures, embeddings, and exact verification kernels."""
+
+from repro.similarity.embedding import LSHableEmbedding, embed_collection
+from repro.similarity.measures import (
+    braun_blanquet_similarity,
+    cosine_similarity,
+    dice_similarity,
+    jaccard_similarity,
+    overlap_coefficient,
+    overlap_size,
+    required_overlap_for_jaccard,
+    SIMILARITY_MEASURES,
+)
+from repro.similarity.verify import verify_pair, verify_pair_sorted
+
+__all__ = [
+    "LSHableEmbedding",
+    "embed_collection",
+    "braun_blanquet_similarity",
+    "cosine_similarity",
+    "dice_similarity",
+    "jaccard_similarity",
+    "overlap_coefficient",
+    "overlap_size",
+    "required_overlap_for_jaccard",
+    "SIMILARITY_MEASURES",
+    "verify_pair",
+    "verify_pair_sorted",
+]

@@ -1,0 +1,133 @@
+"""Randomized embedding of LSHable similarity measures into fixed-size sets.
+
+Section II-A of the paper: given any similarity measure ``sim`` with an LSH
+family satisfying ``Pr[h(x) = h(y)] = sim(x, y)``, the embedding
+
+    f(x) = {(i, h_i(x)) | i = 1, ..., t}
+
+maps each record to a set of exactly ``t`` tokens such that the expected
+intersection ``|f(x) ∩ f(y)|`` equals ``t · sim(x, y)``.  The join can then be
+performed on the embedded sets under Braun–Blanquet similarity
+``B(f(x), f(y)) = |f(x) ∩ f(y)| / t`` with the same numeric threshold.
+
+For Jaccard similarity the LSH family is MinHash; the embedding is therefore a
+thin layer over :class:`repro.hashing.minhash.MinHasher`.  For cosine
+similarity over token sets we provide a SimHash-style family as a second
+worked example of an LSHable measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hashing.minhash import MinHasher, MinHashSignatures
+
+__all__ = ["LSHableEmbedding", "EmbeddedCollection", "embed_collection"]
+
+
+@dataclass(frozen=True)
+class EmbeddedCollection:
+    """The result of embedding a collection into fixed-size token sets.
+
+    Attributes
+    ----------
+    signatures:
+        The MinHash signatures; coordinate ``i`` of record ``x`` corresponds
+        to the embedded token ``(i, h_i(x))``.
+    embedding_size:
+        The fixed set size ``t``.
+    """
+
+    signatures: MinHashSignatures
+
+    @property
+    def embedding_size(self) -> int:
+        return self.signatures.num_functions
+
+    @property
+    def num_records(self) -> int:
+        return self.signatures.num_records
+
+    def embedded_record(self, record_index: int) -> List[Tuple[int, int]]:
+        """Materialize the embedded token set ``{(i, h_i(x))}`` of one record."""
+        return self.signatures.braun_blanquet_tokens(record_index)
+
+    def braun_blanquet(self, first: int, second: int) -> float:
+        """Braun–Blanquet similarity of two embedded records (equation (2))."""
+        return self.signatures.estimate_jaccard(first, second)
+
+
+class LSHableEmbedding:
+    """Embeds records under an LSHable similarity measure into size-``t`` sets.
+
+    Parameters
+    ----------
+    measure:
+        ``"jaccard"`` (MinHash family) or ``"cosine"`` (SimHash-style family
+        over token sets).
+    embedding_size:
+        The number of independent LSH functions ``t``.
+    seed:
+        Seed controlling every hash function of the embedding.
+    """
+
+    def __init__(self, measure: str = "jaccard", embedding_size: int = 128, seed: Optional[int] = None) -> None:
+        if embedding_size < 1:
+            raise ValueError("embedding_size must be positive")
+        if measure not in {"jaccard", "cosine"}:
+            raise ValueError(f"unsupported LSHable measure: {measure!r}")
+        self.measure = measure
+        self.embedding_size = embedding_size
+        self.seed = seed
+        self._minhasher = MinHasher(num_functions=embedding_size, seed=seed)
+        self._simhash_planes: Optional[np.ndarray] = None
+
+    def embed(self, records: Sequence[Sequence[int]]) -> EmbeddedCollection:
+        """Embed a whole collection.
+
+        For Jaccard the signature matrix directly encodes the embedding.  For
+        cosine we first map every record to the set of hyperplane-sign tokens
+        and MinHash that derived set; this composes two LSHable steps and
+        keeps the downstream join identical for both measures.
+        """
+        if self.measure == "jaccard":
+            return EmbeddedCollection(signatures=self._minhasher.signatures(records))
+        derived = [self._simhash_tokens(record) for record in records]
+        return EmbeddedCollection(signatures=self._minhasher.signatures(derived))
+
+    def _simhash_tokens(self, record: Sequence[int]) -> List[int]:
+        """Map a record to sign tokens of random hyperplanes (cosine LSH).
+
+        Token ``i`` encodes the sign of the projection of the record's binary
+        incidence vector onto the ``i``-th random hyperplane; two records agree
+        on token ``i`` with probability ``1 - angle(x, y) / π``, the standard
+        SimHash collision probability, making the derived token sets a valid
+        LSHable proxy for cosine similarity.
+        """
+        rng = np.random.default_rng(self.seed)
+        num_planes = 4 * self.embedding_size
+        tokens = []
+        for plane_index in range(num_planes):
+            plane_rng = np.random.default_rng((self.seed or 0) * 1_000_003 + plane_index)
+            projection = 0.0
+            for token in record:
+                # Pseudo-random ±1 weight per (plane, token) pair.
+                weight_rng = np.random.default_rng(plane_index * 2_000_003 + int(token))
+                projection += 1.0 if weight_rng.random() < 0.5 else -1.0
+            sign_bit = 1 if projection >= 0 else 0
+            tokens.append(2 * plane_index + sign_bit)
+        del rng
+        return tokens
+
+
+def embed_collection(
+    records: Sequence[Sequence[int]],
+    measure: str = "jaccard",
+    embedding_size: int = 128,
+    seed: Optional[int] = None,
+) -> EmbeddedCollection:
+    """Functional convenience wrapper around :class:`LSHableEmbedding`."""
+    return LSHableEmbedding(measure=measure, embedding_size=embedding_size, seed=seed).embed(records)

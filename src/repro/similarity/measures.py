@@ -1,0 +1,154 @@
+"""Set similarity measures.
+
+The paper's experiments use Jaccard similarity, but the algorithm applies to
+any LSHable measure through the embedding of Section II-A; the embedded join
+itself runs on Braun–Blanquet similarity of fixed-size sets.  This module
+collects the measures used anywhere in the reproduction, all defined on
+token sets (any iterable of hashable tokens).
+
+Every function accepts plain Python iterables; the verification kernels in
+:mod:`repro.similarity.verify` provide faster variants for sorted token
+tuples, which is how records are stored internally.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Callable, Dict, Iterable, Sequence
+
+__all__ = [
+    "overlap_size",
+    "jaccard_similarity",
+    "cosine_similarity",
+    "dice_similarity",
+    "overlap_coefficient",
+    "braun_blanquet_similarity",
+    "containment",
+    "hamming_distance",
+    "required_overlap_for_jaccard",
+    "jaccard_to_braun_blanquet_threshold",
+    "SIMILARITY_MEASURES",
+]
+
+
+def _as_set(tokens: Iterable[int]) -> AbstractSet[int]:
+    if isinstance(tokens, (set, frozenset)):
+        return tokens
+    return set(tokens)
+
+
+def overlap_size(first: Iterable[int], second: Iterable[int]) -> int:
+    """Size of the intersection of two token sets."""
+    first_set = _as_set(first)
+    second_set = _as_set(second)
+    if len(first_set) > len(second_set):
+        first_set, second_set = second_set, first_set
+    return sum(1 for token in first_set if token in second_set)
+
+
+def jaccard_similarity(first: Iterable[int], second: Iterable[int]) -> float:
+    """Jaccard similarity ``|x ∩ y| / |x ∪ y|``; 1.0 for two empty sets."""
+    first_set = _as_set(first)
+    second_set = _as_set(second)
+    if not first_set and not second_set:
+        return 1.0
+    intersection = overlap_size(first_set, second_set)
+    union = len(first_set) + len(second_set) - intersection
+    return intersection / union
+
+
+def cosine_similarity(first: Iterable[int], second: Iterable[int]) -> float:
+    """Cosine similarity of the binary incidence vectors ``|x ∩ y| / sqrt(|x||y|)``."""
+    first_set = _as_set(first)
+    second_set = _as_set(second)
+    if not first_set or not second_set:
+        return 1.0 if not first_set and not second_set else 0.0
+    intersection = overlap_size(first_set, second_set)
+    return intersection / math.sqrt(len(first_set) * len(second_set))
+
+
+def dice_similarity(first: Iterable[int], second: Iterable[int]) -> float:
+    """Sørensen–Dice similarity ``2|x ∩ y| / (|x| + |y|)``."""
+    first_set = _as_set(first)
+    second_set = _as_set(second)
+    if not first_set and not second_set:
+        return 1.0
+    intersection = overlap_size(first_set, second_set)
+    return 2.0 * intersection / (len(first_set) + len(second_set))
+
+
+def overlap_coefficient(first: Iterable[int], second: Iterable[int]) -> float:
+    """Overlap (Szymkiewicz–Simpson) coefficient ``|x ∩ y| / min(|x|, |y|)``."""
+    first_set = _as_set(first)
+    second_set = _as_set(second)
+    if not first_set or not second_set:
+        return 1.0 if not first_set and not second_set else 0.0
+    intersection = overlap_size(first_set, second_set)
+    return intersection / min(len(first_set), len(second_set))
+
+
+def braun_blanquet_similarity(first: Iterable[int], second: Iterable[int]) -> float:
+    """Braun–Blanquet similarity ``|x ∩ y| / max(|x|, |y|)``.
+
+    Equation (2) of the paper is the special case where both sets have the
+    same fixed size ``t``; then ``B(x, y) = |x ∩ y| / t``.
+    """
+    first_set = _as_set(first)
+    second_set = _as_set(second)
+    if not first_set or not second_set:
+        return 1.0 if not first_set and not second_set else 0.0
+    intersection = overlap_size(first_set, second_set)
+    return intersection / max(len(first_set), len(second_set))
+
+
+def containment(first: Iterable[int], second: Iterable[int]) -> float:
+    """Containment of ``first`` in ``second``: ``|x ∩ y| / |x|``."""
+    first_set = _as_set(first)
+    second_set = _as_set(second)
+    if not first_set:
+        return 1.0
+    return overlap_size(first_set, second_set) / len(first_set)
+
+
+def hamming_distance(first: Iterable[int], second: Iterable[int]) -> int:
+    """Hamming distance of the binary incidence vectors, i.e. ``|x Δ y|``."""
+    first_set = _as_set(first)
+    second_set = _as_set(second)
+    intersection = overlap_size(first_set, second_set)
+    return len(first_set) + len(second_set) - 2 * intersection
+
+
+def required_overlap_for_jaccard(size_first: int, size_second: int, threshold: float) -> int:
+    """Minimum intersection size for two sets of given sizes to reach a Jaccard threshold.
+
+    ``J(x, y) ≥ λ`` is equivalent to ``|x ∩ y| ≥ ⌈λ (|x| + |y|) / (1 + λ)⌉``;
+    prefix filtering and the verification kernels all rely on this bound.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    if size_first < 0 or size_second < 0:
+        raise ValueError("set sizes must be non-negative")
+    return math.ceil(threshold / (1.0 + threshold) * (size_first + size_second) - 1e-9)
+
+
+def jaccard_to_braun_blanquet_threshold(threshold: float) -> float:
+    """Braun–Blanquet threshold equivalent to a Jaccard threshold on embedded sets.
+
+    On the embedded size-``t`` sets the expected intersection is
+    ``t * J(x, y)`` (Section II-A), so the same numeric threshold is used for
+    the embedded Braun–Blanquet join.  The function exists to make that
+    identity explicit at call sites.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    return threshold
+
+
+SIMILARITY_MEASURES: Dict[str, Callable[[Iterable[int], Iterable[int]], float]] = {
+    "jaccard": jaccard_similarity,
+    "cosine": cosine_similarity,
+    "dice": dice_similarity,
+    "overlap": overlap_coefficient,
+    "braun_blanquet": braun_blanquet_similarity,
+}
+"""Registry of measures addressable by name in the public join API."""

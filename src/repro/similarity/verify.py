@@ -1,0 +1,102 @@
+"""Exact verification kernels for candidate pairs.
+
+Every join in this repository (exact or approximate) funnels its candidate
+pairs through the same verification routine, mirroring the methodology of
+Mann et al. whose framework the paper reuses: candidates are verified with a
+merge-based intersection over the sorted token lists that stops as soon as
+the required overlap can no longer be reached (positional early termination).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.similarity.measures import required_overlap_for_jaccard
+
+__all__ = ["verify_pair", "verify_pair_sorted", "overlap_sorted"]
+
+
+def overlap_sorted(first: Sequence[int], second: Sequence[int]) -> int:
+    """Intersection size of two sorted token sequences (merge-based)."""
+    i, j, overlap = 0, 0, 0
+    len_first, len_second = len(first), len(second)
+    while i < len_first and j < len_second:
+        token_first = first[i]
+        token_second = second[j]
+        if token_first == token_second:
+            overlap += 1
+            i += 1
+            j += 1
+        elif token_first < token_second:
+            i += 1
+        else:
+            j += 1
+    return overlap
+
+
+def verify_pair_sorted(
+    first: Sequence[int],
+    second: Sequence[int],
+    threshold: float,
+    start_first: int = 0,
+    start_second: int = 0,
+    initial_overlap: int = 0,
+) -> Tuple[bool, float]:
+    """Check whether two sorted records meet a Jaccard threshold.
+
+    Implements the standard early-terminating merge: at every step the best
+    still-achievable overlap is the current overlap plus the remaining length
+    of the shorter unvisited suffix; the merge stops as soon as that optimum
+    falls below the required overlap.
+
+    Parameters
+    ----------
+    first, second:
+        Sorted token sequences.
+    threshold:
+        Jaccard similarity threshold ``λ``.
+    start_first, start_second, initial_overlap:
+        Allow resuming a partially computed overlap — the exact joins use this
+        after having already matched the prefixes of both records.
+
+    Returns
+    -------
+    (accepted, similarity):
+        ``accepted`` is True when ``J(first, second) ≥ threshold``.  When the
+        verification terminates early, ``similarity`` is an upper bound on
+        the true similarity that is below the threshold.
+    """
+    len_first, len_second = len(first), len(second)
+    required = required_overlap_for_jaccard(len_first, len_second, threshold)
+    if required == 0:
+        # Degenerate: any pair qualifies (can only happen for empty records).
+        union = len_first + len_second
+        return True, 1.0 if union == 0 else initial_overlap / union
+
+    i, j, overlap = start_first, start_second, initial_overlap
+    while i < len_first and j < len_second:
+        remaining = min(len_first - i, len_second - j)
+        if overlap + remaining < required:
+            # Even matching every remaining token cannot reach the threshold.
+            best_possible = overlap + remaining
+            union = len_first + len_second - best_possible
+            return False, best_possible / union if union else 1.0
+        token_first = first[i]
+        token_second = second[j]
+        if token_first == token_second:
+            overlap += 1
+            i += 1
+            j += 1
+        elif token_first < token_second:
+            i += 1
+        else:
+            j += 1
+
+    union = len_first + len_second - overlap
+    similarity = overlap / union if union else 1.0
+    return overlap >= required, similarity
+
+
+def verify_pair(first: Sequence[int], second: Sequence[int], threshold: float) -> Tuple[bool, float]:
+    """Convenience wrapper: sort the inputs, then verify with early termination."""
+    return verify_pair_sorted(tuple(sorted(first)), tuple(sorted(second)), threshold)

@@ -1,0 +1,47 @@
+"""Theoretical machinery behind CPSJOIN (Section IV of the paper).
+
+The analysis of CPSJOIN rests on viewing the Chosen Path Tree as a
+Galton–Watson branching process.  This subpackage provides executable
+versions of that machinery:
+
+* :mod:`repro.theory.branching` — Galton–Watson processes: survival /
+  extinction probabilities, expected population sizes, and Monte-Carlo
+  simulation of the Chosen Path branching process for a pair of sets.
+* :mod:`repro.theory.bounds` — the concrete bounds used in the paper's
+  lemmas: the Agresti lower bound on survival (Lemma 5), the collision
+  probability of distant pairs (Lemma 3), the tree-depth bound (Lemma 4),
+  the recall lower bound (Lemma 6), and the running-time cost models of the
+  global / individual / adaptive stopping strategies (Section IV-C.5).
+
+These are used by the tests to check the implementation against the theory
+(e.g. that measured per-run recall respects the Agresti bound) and by the
+documentation to explain parameter choices.
+"""
+
+from repro.theory.bounds import (
+    agresti_survival_lower_bound,
+    collision_probability_upper_bound,
+    expected_candidates_global,
+    expected_candidates_individual,
+    recall_lower_bound,
+    recommended_repetitions,
+    tree_depth_bound,
+)
+from repro.theory.branching import (
+    GaltonWatsonProcess,
+    chosen_path_offspring_distribution,
+    simulate_pair_collision_probability,
+)
+
+__all__ = [
+    "agresti_survival_lower_bound",
+    "collision_probability_upper_bound",
+    "expected_candidates_global",
+    "expected_candidates_individual",
+    "recall_lower_bound",
+    "recommended_repetitions",
+    "tree_depth_bound",
+    "GaltonWatsonProcess",
+    "chosen_path_offspring_distribution",
+    "simulate_pair_collision_probability",
+]

@@ -1,0 +1,184 @@
+"""Galton–Watson branching processes and the Chosen Path Tree.
+
+Section IV-C of the paper analyses CPSJOIN through the branching process
+underlying the Chosen Path Tree: at every node, each token ``j`` shared by a
+pair ``(x, y)`` independently spawns a child with probability
+``1 / (λ t)``, so the number of children of a node follows a
+``Binomial(|x ∩ y|, 1/(λ t))`` distribution with mean ``B(x, y) / λ``.
+
+This module provides a small, general Galton–Watson toolkit (survival
+probability via fixed-point iteration of the offspring generating function,
+expected generation sizes, Monte-Carlo simulation) plus helpers specialised
+to the Chosen Path offspring distribution.  The tests use it to validate the
+paper's Lemma 5 empirically against the implementation's collision behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "GaltonWatsonProcess",
+    "chosen_path_offspring_distribution",
+    "simulate_pair_collision_probability",
+]
+
+
+@dataclass(frozen=True)
+class OffspringDistribution:
+    """A distribution over the number of children of a branching-process node.
+
+    Attributes
+    ----------
+    probabilities:
+        ``probabilities[k]`` is the probability of having exactly ``k``
+        children; the entries must sum to 1.
+    """
+
+    probabilities: Sequence[float]
+
+    def __post_init__(self) -> None:
+        total = float(sum(self.probabilities))
+        if not math.isclose(total, 1.0, rel_tol=1e-6, abs_tol=1e-6):
+            raise ValueError(f"offspring probabilities must sum to 1, got {total}")
+        if any(probability < -1e-12 for probability in self.probabilities):
+            raise ValueError("offspring probabilities must be non-negative")
+
+    @property
+    def mean(self) -> float:
+        """Expected number of children (the criticality parameter)."""
+        return float(sum(k * probability for k, probability in enumerate(self.probabilities)))
+
+    def generating_function(self, s: float) -> float:
+        """The probability generating function ``f(s) = Σ p_k s^k``."""
+        return float(sum(probability * s**k for k, probability in enumerate(self.probabilities)))
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Sample child counts."""
+        return rng.choice(len(self.probabilities), size=size, p=np.asarray(self.probabilities, dtype=float))
+
+
+def chosen_path_offspring_distribution(
+    intersection_size: int, embedding_size: int, threshold: float
+) -> OffspringDistribution:
+    """Offspring distribution of the Chosen Path Tree for a pair of records.
+
+    A node survives into a child for each of the ``|x ∩ y|`` shared embedded
+    tokens independently with probability ``1/(λ t)``; the child count is
+    therefore ``Binomial(|x ∩ y|, 1/(λ t))``.  For a pair exactly at the
+    threshold (``|x ∩ y| = λ t``) the mean is 1 — the critical regime the
+    paper's analysis revolves around.
+    """
+    if intersection_size < 0:
+        raise ValueError("intersection_size must be non-negative")
+    if embedding_size < 1:
+        raise ValueError("embedding_size must be positive")
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    probability = min(1.0, 1.0 / (threshold * embedding_size))
+    counts = np.arange(intersection_size + 1)
+    log_choose = [
+        math.lgamma(intersection_size + 1) - math.lgamma(k + 1) - math.lgamma(intersection_size - k + 1)
+        for k in counts
+    ]
+    probabilities = [
+        math.exp(
+            log_choose[k]
+            + k * math.log(probability if probability > 0 else 1e-300)
+            + (intersection_size - k) * math.log(max(1e-300, 1.0 - probability))
+        )
+        if 0.0 < probability < 1.0
+        else (1.0 if (probability == 0.0 and k == 0) or (probability == 1.0 and k == intersection_size) else 0.0)
+        for k in counts
+    ]
+    # Normalize away floating point drift.
+    total = sum(probabilities)
+    probabilities = [p / total for p in probabilities]
+    return OffspringDistribution(probabilities)
+
+
+class GaltonWatsonProcess:
+    """A Galton–Watson branching process with a fixed offspring distribution."""
+
+    def __init__(self, offspring: OffspringDistribution) -> None:
+        self.offspring = offspring
+
+    # ------------------------------------------------------------------ analytic quantities
+    def expected_generation_size(self, generation: int) -> float:
+        """Expected population at a generation: ``m^k`` with ``m`` the offspring mean."""
+        if generation < 0:
+            raise ValueError("generation must be non-negative")
+        return self.offspring.mean**generation
+
+    def extinction_probability_by(self, generation: int) -> float:
+        """Probability that the process is extinct at or before ``generation``.
+
+        Computed by iterating the generating function: ``q_0 = 0`` and
+        ``q_{k+1} = f(q_k)``; ``q_k`` is exactly the probability of extinction
+        within ``k`` generations.
+        """
+        if generation < 0:
+            raise ValueError("generation must be non-negative")
+        extinction = 0.0
+        for _ in range(generation):
+            extinction = self.offspring.generating_function(extinction)
+        return extinction
+
+    def survival_probability_at(self, generation: int) -> float:
+        """Probability the process still has members at ``generation``."""
+        return 1.0 - self.extinction_probability_by(generation)
+
+    def ultimate_extinction_probability(self, iterations: int = 10_000, tolerance: float = 1e-12) -> float:
+        """Smallest fixed point of the generating function (ultimate extinction)."""
+        extinction = 0.0
+        for _ in range(iterations):
+            updated = self.offspring.generating_function(extinction)
+            if abs(updated - extinction) < tolerance:
+                return updated
+            extinction = updated
+        return extinction
+
+    # ------------------------------------------------------------------ simulation
+    def simulate_survival(
+        self, generations: int, trials: int, rng: Optional[np.random.Generator] = None, population_cap: int = 10_000
+    ) -> float:
+        """Monte-Carlo estimate of the survival probability at ``generations``."""
+        if rng is None:
+            rng = np.random.default_rng()
+        survived = 0
+        for _ in range(trials):
+            population = 1
+            for _ in range(generations):
+                if population == 0:
+                    break
+                # Cap the population: once it is large, survival to the next
+                # generation is essentially certain for supercritical processes
+                # and the cap only biases the estimate negligibly downwards.
+                population = int(self.offspring.sample(rng, size=min(population, population_cap)).sum())
+            if population > 0:
+                survived += 1
+        return survived / trials
+
+
+def simulate_pair_collision_probability(
+    similarity: float,
+    threshold: float,
+    embedding_size: int = 128,
+    depth: int = 10,
+    trials: int = 2_000,
+    seed: Optional[int] = None,
+) -> float:
+    """Monte-Carlo probability that a pair shares a Chosen Path Tree node at a depth.
+
+    This is ``Pr[F_k(x ∩ y) ≠ ∅]`` from the paper for a pair with
+    ``B(x, y) = similarity``: the quantity lower-bounded by Lemma 5 (Agresti)
+    when ``similarity ≥ threshold``.
+    """
+    intersection = int(round(similarity * embedding_size))
+    offspring = chosen_path_offspring_distribution(intersection, embedding_size, threshold)
+    process = GaltonWatsonProcess(offspring)
+    return process.simulate_survival(depth, trials, np.random.default_rng(seed))

@@ -1,0 +1,160 @@
+"""Tests for the CPSJOIN engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CPSJoinConfig
+from repro.core.cpsjoin import CPSJoin, cpsjoin
+from repro.core.preprocess import preprocess_collection
+from repro.exact.naive import naive_join
+from repro.evaluation.metrics import precision, recall
+from repro.similarity.measures import jaccard_similarity
+
+
+class TestBasics:
+    def test_invalid_threshold(self) -> None:
+        with pytest.raises(ValueError):
+            CPSJoin(0.0)
+        with pytest.raises(ValueError):
+            CPSJoin(1.0)
+
+    def test_tiny_example(self, tiny_records, tiny_truth_05) -> None:
+        result = cpsjoin(tiny_records, 0.5, CPSJoinConfig(seed=1))
+        assert result.pairs == tiny_truth_05
+
+    def test_perfect_precision(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:250]
+        truth = naive_join(records, 0.5).pairs
+        result = cpsjoin(records, 0.5, CPSJoinConfig(seed=2))
+        assert precision(result.pairs, truth) == 1.0
+
+    def test_high_recall_with_default_repetitions(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:250]
+        for threshold in (0.5, 0.7):
+            truth = naive_join(records, threshold).pairs
+            result = cpsjoin(records, threshold, CPSJoinConfig(seed=3))
+            assert recall(result.pairs, truth) >= 0.9, threshold
+
+    def test_reported_pairs_meet_threshold(self, skewed_dataset) -> None:
+        records = skewed_dataset.records[:200]
+        result = cpsjoin(records, 0.6, CPSJoinConfig(seed=4))
+        for first, second in result.pairs:
+            assert jaccard_similarity(records[first], records[second]) >= 0.6
+
+    def test_reproducible_with_seed(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:120]
+        config = CPSJoinConfig(seed=5, repetitions=3)
+        first = cpsjoin(records, 0.5, config)
+        second = cpsjoin(records, 0.5, config)
+        assert first.pairs == second.pairs
+
+    def test_duplicate_records_reported(self) -> None:
+        records = [(1, 2, 3, 4, 5)] * 3 + [(10, 11, 12, 13, 14)]
+        result = cpsjoin(records, 0.9, CPSJoinConfig(seed=6))
+        assert {(0, 1), (0, 2), (1, 2)} <= result.pairs
+
+
+class TestRepetitions:
+    def test_more_repetitions_never_lower_recall(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:200]
+        truth = naive_join(records, 0.5).pairs
+        few = cpsjoin(records, 0.5, CPSJoinConfig(seed=7, repetitions=1, limit=10))
+        many = cpsjoin(records, 0.5, CPSJoinConfig(seed=7, repetitions=10, limit=10))
+        assert recall(many.pairs, truth) >= recall(few.pairs, truth)
+
+    def test_stats_accumulate(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:120]
+        result = cpsjoin(records, 0.5, CPSJoinConfig(seed=8, repetitions=4))
+        assert result.stats.repetitions == 4
+        assert result.stats.results == len(result.pairs)
+        assert result.stats.candidates <= result.stats.pre_candidates
+
+    def test_run_once_subset_of_union(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:120]
+        config = CPSJoinConfig(seed=9, repetitions=5)
+        engine = CPSJoin(0.5, config)
+        collection = preprocess_collection(records, seed=9)
+        single = engine.run_once(collection, repetition=0)
+        full = engine.join_preprocessed(collection)
+        assert single.pairs <= full.pairs
+
+
+class TestParameters:
+    def test_small_limit_still_correct(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:150]
+        truth = naive_join(records, 0.7).pairs
+        result = cpsjoin(records, 0.7, CPSJoinConfig(seed=10, limit=10))
+        assert precision(result.pairs, truth) == 1.0
+        assert recall(result.pairs, truth) >= 0.85
+
+    def test_epsilon_zero_and_half(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:150]
+        truth = naive_join(records, 0.5).pairs
+        for epsilon in (0.0, 0.5):
+            result = cpsjoin(records, 0.5, CPSJoinConfig(seed=11, epsilon=epsilon))
+            assert recall(result.pairs, truth) >= 0.85, epsilon
+
+    def test_single_word_sketches(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:150]
+        result = cpsjoin(records, 0.5, CPSJoinConfig(seed=12, sketch_words=1))
+        truth = naive_join(records, 0.5).pairs
+        assert precision(result.pairs, truth) == 1.0
+
+    def test_sketches_disabled(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:150]
+        truth = naive_join(records, 0.6).pairs
+        result = cpsjoin(records, 0.6, CPSJoinConfig(seed=13, use_sketches=False, repetitions=5))
+        assert precision(result.pairs, truth) == 1.0
+        assert recall(result.pairs, truth) >= 0.9
+
+    def test_token_average_method(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:150]
+        truth = naive_join(records, 0.5).pairs
+        result = cpsjoin(records, 0.5, CPSJoinConfig(seed=14, average_method="tokens", repetitions=5))
+        assert recall(result.pairs, truth) >= 0.85
+
+
+class TestStoppingStrategies:
+    @pytest.mark.parametrize("strategy", ["adaptive", "global", "individual"])
+    def test_all_strategies_find_planted_pairs(self, uniform_dataset, strategy) -> None:
+        records = uniform_dataset.records[:200]
+        truth = naive_join(records, 0.6).pairs
+        config = CPSJoinConfig(seed=15, stopping=strategy, repetitions=10)
+        result = cpsjoin(records, 0.6, config)
+        assert precision(result.pairs, truth) == 1.0
+        assert recall(result.pairs, truth) >= 0.8, strategy
+
+    def test_global_depth_override(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:100]
+        config = CPSJoinConfig(seed=16, stopping="global", global_depth=2, repetitions=3)
+        result = cpsjoin(records, 0.5, config)
+        assert result.stats.extra.get("max_depth", 0.0) <= 2.0
+
+    def test_adaptive_generates_fewer_precandidates_than_global(self, uniform_dataset) -> None:
+        # The paper's running-time argument: the adaptive rule should not do
+        # more comparison work than a fixed global depth on skew-free data.
+        records = uniform_dataset.records[:250]
+        collection = preprocess_collection(records, seed=17)
+        adaptive = CPSJoin(0.5, CPSJoinConfig(seed=17, stopping="adaptive")).run_once(collection)
+        fixed = CPSJoin(0.5, CPSJoinConfig(seed=17, stopping="global")).run_once(collection)
+        assert adaptive.stats.pre_candidates <= 2 * fixed.stats.pre_candidates
+
+
+class TestTreeBehaviour:
+    def test_max_depth_respected(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:200]
+        config = CPSJoinConfig(seed=18, max_depth=3, limit=10, repetitions=2)
+        result = cpsjoin(records, 0.5, config)
+        assert result.stats.extra.get("max_depth", 0.0) <= 3.0
+
+    def test_small_collection_single_bruteforce(self, tiny_records) -> None:
+        # With |S| <= limit the whole join is one BRUTEFORCEPAIRS call and the
+        # tree never branches.
+        config = CPSJoinConfig(seed=19, repetitions=1)
+        engine = CPSJoin(0.5, config)
+        collection = preprocess_collection(tiny_records, seed=19)
+        result = engine.run_once(collection)
+        assert result.stats.extra.get("tree_nodes", 0.0) == 1.0
+        assert result.stats.extra.get("max_depth", 0.0) == 0.0

@@ -1,0 +1,49 @@
+"""Tests for the shared preprocessing step."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.preprocess import preprocess_collection
+
+
+class TestPreprocessCollection:
+    def test_shapes(self) -> None:
+        collection = preprocess_collection([[1, 2, 3], [4, 5]], embedding_size=32, sketch_words=2, seed=0)
+        assert collection.num_records == 2
+        assert collection.embedding_size == 32
+        assert collection.signatures.matrix.shape == (2, 32)
+        assert collection.sketches.words.shape == (2, 2)
+
+    def test_records_normalized(self) -> None:
+        collection = preprocess_collection([[3, 1, 2, 2]], seed=0)
+        assert collection.records[0] == (1, 2, 3)
+
+    def test_empty_record_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            preprocess_collection([[1, 2], []], seed=0)
+
+    def test_record_sizes(self) -> None:
+        collection = preprocess_collection([[1, 2, 3], [4, 5]], seed=0)
+        assert collection.record_sizes().tolist() == [3, 2]
+
+    def test_reproducible_with_seed(self) -> None:
+        first = preprocess_collection([[1, 2, 3], [4, 5, 6]], seed=11)
+        second = preprocess_collection([[1, 2, 3], [4, 5, 6]], seed=11)
+        assert np.array_equal(first.signatures.matrix, second.signatures.matrix)
+        assert np.array_equal(first.sketches.words, second.sketches.words)
+
+    def test_different_seeds_differ(self) -> None:
+        first = preprocess_collection([[1, 2, 3], [4, 5, 6]], seed=11)
+        second = preprocess_collection([[1, 2, 3], [4, 5, 6]], seed=12)
+        assert not np.array_equal(first.signatures.matrix, second.signatures.matrix)
+
+    def test_preprocessing_time_recorded(self) -> None:
+        collection = preprocess_collection([[1, 2, 3]] * 50, seed=0)
+        assert collection.preprocessing_seconds > 0.0
+
+    def test_identical_records_share_signature(self) -> None:
+        collection = preprocess_collection([[9, 8, 7], [7, 8, 9]], seed=3)
+        assert np.array_equal(collection.signatures.matrix[0], collection.signatures.matrix[1])
+        assert np.array_equal(collection.sketches.words[0], collection.sketches.words[1])

@@ -1,0 +1,94 @@
+"""Tests for the Dataset model and its statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.base import Dataset
+
+
+class TestDatasetConstruction:
+    def test_records_are_sorted_deduplicated_tuples(self) -> None:
+        dataset = Dataset([[3, 1, 2, 2], [5, 5]])
+        assert dataset[0] == (1, 2, 3)
+        assert dataset[1] == (5,)
+
+    def test_negative_tokens_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Dataset([[1, -2]])
+
+    def test_len_iter_getitem(self) -> None:
+        dataset = Dataset([[1], [2], [3]])
+        assert len(dataset) == 3
+        assert list(dataset) == [(1,), (2,), (3,)]
+        assert dataset[2] == (3,)
+
+    def test_repr_contains_name(self) -> None:
+        dataset = Dataset([[1]], name="EXAMPLE")
+        assert "EXAMPLE" in repr(dataset)
+
+
+class TestStatistics:
+    def test_table1_columns(self) -> None:
+        dataset = Dataset([[1, 2, 3], [1, 2], [4, 5, 6, 7]], name="S")
+        statistics = dataset.statistics()
+        assert statistics.num_records == 3
+        assert statistics.universe_size == 7
+        assert statistics.average_set_size == pytest.approx(3.0)
+        # 9 token occurrences over 7 distinct tokens.
+        assert statistics.average_sets_per_token == pytest.approx(9 / 7)
+        assert statistics.min_set_size == 2
+        assert statistics.max_set_size == 4
+
+    def test_as_table_row(self) -> None:
+        row = Dataset([[1, 2], [2, 3]]).statistics().as_table_row()
+        assert set(row) == {"num_sets", "avg_set_size", "sets_per_token"}
+        assert row["num_sets"] == 2
+
+    def test_token_frequencies_cached_and_correct(self) -> None:
+        dataset = Dataset([[1, 2], [2, 3], [2]])
+        frequencies = dataset.token_frequencies()
+        assert frequencies[2] == 3
+        assert frequencies[1] == 1
+        assert dataset.token_frequencies() is frequencies
+
+    def test_empty_dataset_statistics(self) -> None:
+        statistics = Dataset([]).statistics()
+        assert statistics.num_records == 0
+        assert statistics.average_set_size == 0.0
+        assert statistics.average_sets_per_token == 0.0
+
+
+class TestPreprocessing:
+    def test_preprocessed_removes_duplicates_and_singletons(self) -> None:
+        dataset = Dataset([[1, 2], [2, 1], [3], [4, 5, 6]])
+        cleaned = dataset.preprocessed()
+        assert cleaned.records == [(1, 2), (4, 5, 6)]
+
+    def test_preprocessed_keeps_duplicates_when_disabled(self) -> None:
+        dataset = Dataset([[1, 2], [2, 1]])
+        cleaned = dataset.preprocessed(deduplicate=False)
+        assert len(cleaned) == 2
+
+    def test_minimum_set_size(self) -> None:
+        dataset = Dataset([[1, 2], [1, 2, 3], [1, 2, 3, 4]])
+        cleaned = dataset.preprocessed(minimum_set_size=3)
+        assert len(cleaned) == 2
+
+    def test_sample_smaller_and_reproducible(self) -> None:
+        dataset = Dataset([[i, i + 1] for i in range(50)], name="BIG")
+        sample_a = dataset.sample(10, seed=3)
+        sample_b = dataset.sample(10, seed=3)
+        assert len(sample_a) == 10
+        assert sample_a.records == sample_b.records
+
+    def test_sample_larger_than_dataset_returns_all(self) -> None:
+        dataset = Dataset([[1, 2], [3, 4]])
+        assert len(dataset.sample(10, seed=0)) == 2
+
+    def test_tokens_sorted_by_frequency(self) -> None:
+        dataset = Dataset([[1, 2], [2, 3], [2, 3]])
+        ordering = dataset.tokens_sorted_by_frequency()
+        # Token 1 appears once (rarest), token 2 three times (most frequent).
+        assert ordering[0] == 1
+        assert ordering[-1] == 2

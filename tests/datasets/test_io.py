@@ -1,0 +1,40 @@
+"""Tests for dataset I/O in the Mann et al. interchange format."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.datasets.base import Dataset
+from repro.datasets.io import read_dataset, write_dataset
+
+
+class TestDatasetIO:
+    def test_round_trip(self, tmp_path: Path) -> None:
+        dataset = Dataset([[1, 2, 3], [4, 5], [6]], name="ROUNDTRIP")
+        path = tmp_path / "data.txt"
+        write_dataset(dataset, path)
+        loaded = read_dataset(path)
+        assert loaded.records == dataset.records
+
+    def test_read_skips_comments_and_blank_lines(self, tmp_path: Path) -> None:
+        path = tmp_path / "data.txt"
+        path.write_text("# header\n\n1 2 3\n\n# comment\n4 5\n")
+        loaded = read_dataset(path)
+        assert loaded.records == [(1, 2, 3), (4, 5)]
+
+    def test_read_uses_filename_as_default_name(self, tmp_path: Path) -> None:
+        path = tmp_path / "mydata.txt"
+        path.write_text("1 2\n")
+        assert read_dataset(path).name == "mydata"
+        assert read_dataset(path, name="explicit").name == "explicit"
+
+    def test_write_creates_parent_directories(self, tmp_path: Path) -> None:
+        path = tmp_path / "nested" / "dir" / "data.txt"
+        write_dataset(Dataset([[1, 2]]), path)
+        assert path.exists()
+
+    def test_written_file_has_one_record_per_line(self, tmp_path: Path) -> None:
+        path = tmp_path / "data.txt"
+        write_dataset(Dataset([[3, 1], [7, 8, 9]], name="X"), path)
+        lines = [line for line in path.read_text().splitlines() if not line.startswith("#")]
+        assert lines == ["1 3", "7 8 9"]

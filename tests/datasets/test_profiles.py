@@ -1,0 +1,98 @@
+"""Tests for the real-dataset surrogates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.profiles import (
+    DATASET_PROFILES,
+    PLANTED_SIMILARITIES,
+    DatasetProfile,
+    generate_all_surrogates,
+    generate_profile_dataset,
+)
+
+
+class TestProfiles:
+    def test_all_fourteen_workloads_defined(self) -> None:
+        assert len(DATASET_PROFILES) == 11  # ten real datasets + UNIFORM005
+        names = set(DATASET_PROFILES)
+        assert {"AOL", "BMS-POS", "DBLP", "ENRON", "FLICKR", "KOSARAK", "LIVEJ",
+                "NETFLIX", "ORKUT", "SPOTIFY", "UNIFORM005"} == names
+
+    def test_token_regimes_match_paper_discussion(self) -> None:
+        # Section VI-A.1 / VII: ALLPAIRS wins on rare-token datasets, CPSJOIN
+        # on frequent-token datasets.
+        assert DATASET_PROFILES["AOL"].token_regime == "rare"
+        assert DATASET_PROFILES["FLICKR"].token_regime == "rare"
+        assert DATASET_PROFILES["SPOTIFY"].token_regime == "rare"
+        assert DATASET_PROFILES["NETFLIX"].token_regime == "frequent"
+        assert DATASET_PROFILES["DBLP"].token_regime == "frequent"
+        assert DATASET_PROFILES["UNIFORM005"].token_regime == "frequent"
+
+    def test_scaled_reduces_size_but_keeps_identity(self) -> None:
+        profile = DATASET_PROFILES["NETFLIX"]
+        scaled = profile.scaled(0.5)
+        assert scaled.surrogate_num_records < profile.surrogate_num_records
+        assert scaled.name == profile.name
+        assert scaled.original_average_set_size == profile.original_average_set_size
+
+    def test_scaled_has_floor(self) -> None:
+        scaled = DATASET_PROFILES["AOL"].scaled(0.0001)
+        assert scaled.surrogate_num_records >= 50
+
+
+class TestGeneration:
+    def test_unknown_name_raises(self) -> None:
+        with pytest.raises(KeyError):
+            generate_profile_dataset("UNKNOWN")
+        with pytest.raises(KeyError):
+            generate_profile_dataset("TOKENS99K")
+
+    def test_case_insensitive_lookup(self) -> None:
+        dataset = generate_profile_dataset("dblp", scale=0.1, seed=0)
+        assert dataset.name == "DBLP"
+
+    def test_reproducible_with_seed(self) -> None:
+        first = generate_profile_dataset("SPOTIFY", scale=0.1, seed=5)
+        second = generate_profile_dataset("SPOTIFY", scale=0.1, seed=5)
+        assert first.records == second.records
+
+    def test_different_seeds_differ(self) -> None:
+        first = generate_profile_dataset("SPOTIFY", scale=0.1, seed=5)
+        second = generate_profile_dataset("SPOTIFY", scale=0.1, seed=6)
+        assert first.records != second.records
+
+    def test_frequent_vs_rare_regimes_realized(self) -> None:
+        # The surrogates must actually realize the token-frequency contrast
+        # the paper's discussion relies on: NETFLIX tokens appear in a large
+        # fraction of the records, AOL tokens in a tiny fraction.
+        netflix = generate_profile_dataset("NETFLIX", scale=0.25, seed=1)
+        aol = generate_profile_dataset("AOL", scale=0.25, seed=2)
+        netflix_relative = netflix.statistics().average_sets_per_token / len(netflix)
+        aol_relative = aol.statistics().average_sets_per_token / len(aol)
+        assert netflix_relative > 10 * aol_relative
+
+    def test_average_set_sizes_roughly_match_profiles(self) -> None:
+        for name in ("AOL", "DBLP", "SPOTIFY"):
+            dataset = generate_profile_dataset(name, scale=0.2, seed=3)
+            target = DATASET_PROFILES[name].surrogate_average_set_size
+            measured = dataset.statistics().average_set_size
+            assert abs(measured - target) / target < 0.35, name
+
+    def test_tokens_datasets_ordered_by_frequency(self) -> None:
+        t10 = generate_profile_dataset("TOKENS10K", scale=0.3, seed=4)
+        t20 = generate_profile_dataset("TOKENS20K", scale=0.3, seed=4)
+        assert t20.statistics().average_sets_per_token > t10.statistics().average_sets_per_token
+
+    def test_generate_all_surrogates(self) -> None:
+        datasets = generate_all_surrogates(scale=0.06, seed=9, include_tokens=True)
+        assert len(datasets) == 14
+        datasets_no_tokens = generate_all_surrogates(scale=0.06, seed=9, include_tokens=False)
+        assert len(datasets_no_tokens) == 11
+
+    def test_planted_similarities_cover_thresholds(self) -> None:
+        # The planted clusters must span the paper's threshold grid so every
+        # experiment threshold has results.
+        assert min(PLANTED_SIMILARITIES) <= 0.55
+        assert max(PLANTED_SIMILARITIES) >= 0.9

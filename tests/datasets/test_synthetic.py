@@ -1,0 +1,141 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    expected_tokens_set_size,
+    generate_skewed_dataset,
+    generate_tokens_dataset,
+    generate_uniform_dataset,
+    generate_zipf_dataset,
+    make_near_duplicate,
+    plant_similar_pairs,
+)
+from repro.similarity.measures import jaccard_similarity
+
+
+class TestExpectedTokensSetSize:
+    def test_formula(self) -> None:
+        # Section VI-1: size = 2λ'/(1+λ') · d.
+        assert expected_tokens_set_size(1000, 0.2) == pytest.approx(333, abs=1)
+        assert expected_tokens_set_size(1000, 0.5) == pytest.approx(667, abs=1)
+
+    def test_bounds(self) -> None:
+        assert 1 <= expected_tokens_set_size(10, 0.01) <= 10
+        with pytest.raises(ValueError):
+            expected_tokens_set_size(100, 0.0)
+        with pytest.raises(ValueError):
+            expected_tokens_set_size(100, 1.0)
+
+    def test_random_pairs_hit_target_jaccard(self) -> None:
+        # Two random subsets of the computed size should have Jaccard close to
+        # the target in expectation.
+        rng = np.random.default_rng(0)
+        universe, target = 400, 0.3
+        size = expected_tokens_set_size(universe, target)
+        similarities = []
+        for _ in range(30):
+            first = set(rng.choice(universe, size=size, replace=False).tolist())
+            second = set(rng.choice(universe, size=size, replace=False).tolist())
+            similarities.append(jaccard_similarity(first, second))
+        assert abs(float(np.mean(similarities)) - target) < 0.05
+
+
+class TestNearDuplicates:
+    def test_target_similarity_achieved(self) -> None:
+        rng = np.random.default_rng(1)
+        base = tuple(range(100, 160))
+        for target in (0.5, 0.7, 0.9):
+            duplicate = make_near_duplicate(base, target, universe_size=10000, rng=rng)
+            assert abs(jaccard_similarity(base, duplicate) - target) < 0.12
+
+    def test_empty_base_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            make_near_duplicate((), 0.5, 100, np.random.default_rng(0))
+
+    def test_plant_similar_pairs_appends(self) -> None:
+        rng = np.random.default_rng(2)
+        records = [tuple(range(i, i + 10)) for i in range(0, 100, 10)]
+        extended, planted = plant_similar_pairs(records, 1000, [0.8, 0.6], 3, rng)
+        assert len(extended) == len(records) + 6
+        assert len(planted) == 6
+        for base_index, duplicate_index, target in planted:
+            similarity = jaccard_similarity(extended[base_index], extended[duplicate_index])
+            assert similarity > target - 0.2
+
+    def test_plant_into_empty_collection_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            plant_similar_pairs([], 100, [0.5], 1, np.random.default_rng(0))
+
+
+class TestTokensDataset:
+    def test_token_budget_respected(self) -> None:
+        dataset = generate_tokens_dataset(
+            max_sets_per_token=20, universe_size=50, planted_pairs_per_similarity=0, seed=3
+        )
+        frequencies = dataset.token_frequencies()
+        assert max(frequencies.values()) <= 20
+
+    def test_every_token_is_frequent(self) -> None:
+        # The defining TOKENS property: no rare tokens for prefix filtering to
+        # exploit — every token appears in a sizeable number of records.
+        dataset = generate_tokens_dataset(max_sets_per_token=50, universe_size=100, seed=4)
+        statistics = dataset.statistics()
+        assert statistics.average_sets_per_token > 10
+
+    def test_reproducible(self) -> None:
+        first = generate_tokens_dataset(max_sets_per_token=15, universe_size=60, seed=5)
+        second = generate_tokens_dataset(max_sets_per_token=15, universe_size=60, seed=5)
+        assert first.records == second.records
+
+    def test_contains_planted_high_similarity_pairs(self) -> None:
+        from repro.exact.naive import naive_join
+
+        dataset = generate_tokens_dataset(
+            max_sets_per_token=30,
+            universe_size=100,
+            planted_pairs_per_similarity=5,
+            planted_similarities=(0.9,),
+            seed=6,
+        )
+        # The background pairs have expected similarity 0.2, so any pair at
+        # 0.7 or above must come from the planted near-duplicates.
+        assert len(naive_join(dataset.records, 0.7).pairs) >= 1
+
+
+class TestUniformAndZipf:
+    def test_uniform_respects_universe(self) -> None:
+        dataset = generate_uniform_dataset(num_records=100, universe_size=50, average_set_size=8, seed=7)
+        assert dataset.statistics().universe_size <= 50
+        assert all(max(record) < 50 for record in dataset)
+
+    def test_uniform_average_set_size(self) -> None:
+        dataset = generate_uniform_dataset(
+            num_records=300, universe_size=100, average_set_size=10, planted_pairs_per_similarity=0, seed=8
+        )
+        assert abs(dataset.statistics().average_set_size - 10) < 1.5
+
+    def test_zipf_has_skewed_frequencies(self) -> None:
+        zipf = generate_zipf_dataset(
+            num_records=300, universe_size=2000, average_set_size=10, skew=1.1,
+            planted_pairs_per_similarity=0, seed=9,
+        )
+        uniform = generate_uniform_dataset(
+            num_records=300, universe_size=2000, average_set_size=10, planted_pairs_per_similarity=0, seed=9
+        )
+        assert zipf.statistics().token_frequency_skew > uniform.statistics().token_frequency_skew
+
+    def test_skewed_invalid_arguments(self) -> None:
+        with pytest.raises(ValueError):
+            generate_skewed_dataset(0, 100, 10, 1.0)
+        with pytest.raises(ValueError):
+            generate_skewed_dataset(10, 1, 10, 1.0)
+        with pytest.raises(ValueError):
+            generate_skewed_dataset(10, 100, 0, 1.0)
+
+    def test_records_have_at_least_two_tokens(self) -> None:
+        dataset = generate_skewed_dataset(200, 500, 3, 0.8, planted_pairs_per_similarity=0, seed=10)
+        assert min(len(record) for record in dataset) >= 2

@@ -1,0 +1,67 @@
+"""Tests for record transformations (dedup, filtering, shingling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.datasets.transform import (
+    deduplicate_records,
+    remove_small_records,
+    shingle_strings,
+    tokenize_strings,
+)
+from repro.similarity.measures import jaccard_similarity
+
+
+class TestDeduplication:
+    def test_removes_exact_duplicates(self) -> None:
+        dataset = Dataset([[1, 2], [2, 1], [3, 4]])
+        assert len(deduplicate_records(dataset)) == 2
+
+    def test_keeps_first_occurrence_order(self) -> None:
+        dataset = Dataset([[5, 6], [1, 2], [5, 6]])
+        assert deduplicate_records(dataset).records == [(5, 6), (1, 2)]
+
+
+class TestRemoveSmallRecords:
+    def test_default_removes_singletons(self) -> None:
+        dataset = Dataset([[1], [1, 2], [1, 2, 3]])
+        assert len(remove_small_records(dataset)) == 2
+
+    def test_custom_minimum(self) -> None:
+        dataset = Dataset([[1], [1, 2], [1, 2, 3]])
+        assert remove_small_records(dataset, minimum_set_size=3).records == [(1, 2, 3)]
+
+
+class TestShingling:
+    def test_shingle_length_validation(self) -> None:
+        with pytest.raises(ValueError):
+            shingle_strings(["abc"], shingle_length=0)
+
+    def test_similar_strings_have_high_jaccard(self) -> None:
+        dataset, _ = shingle_strings(["similarity join", "similarity joins", "completely different"], 3)
+        close = jaccard_similarity(dataset[0], dataset[1])
+        far = jaccard_similarity(dataset[0], dataset[2])
+        assert close > 0.6
+        assert far < 0.3
+
+    def test_vocabulary_maps_back_to_shingles(self) -> None:
+        dataset, vocabulary = shingle_strings(["abcd"], 2)
+        assert len(dataset[0]) == len(vocabulary) == len(set(dataset[0]))
+        assert all(len(shingle) == 2 for shingle in vocabulary)
+
+    def test_case_insensitive(self) -> None:
+        dataset, _ = shingle_strings(["HELLO", "hello"], 3)
+        assert dataset[0] == dataset[1]
+
+
+class TestTokenization:
+    def test_word_tokens(self) -> None:
+        dataset, vocabulary = tokenize_strings(["the quick fox", "the lazy fox"])
+        assert jaccard_similarity(dataset[0], dataset[1]) == pytest.approx(2 / 4)
+        assert "fox" in vocabulary
+
+    def test_duplicate_words_collapse(self) -> None:
+        dataset, _ = tokenize_strings(["a a a b"])
+        assert len(dataset[0]) == 2

@@ -1,0 +1,32 @@
+"""Tests for the ground-truth cache."""
+
+from __future__ import annotations
+
+from repro.evaluation.ground_truth import GroundTruthCache, compute_ground_truth
+from repro.exact.naive import naive_join
+
+
+class TestComputeGroundTruth:
+    def test_matches_naive(self, tiny_records) -> None:
+        assert compute_ground_truth(tiny_records, 0.5).pairs == naive_join(tiny_records, 0.5).pairs
+
+
+class TestGroundTruthCache:
+    def test_caches_per_label_and_threshold(self, tiny_records) -> None:
+        cache = GroundTruthCache()
+        first = cache.get("tiny", tiny_records, 0.5)
+        second = cache.get("tiny", tiny_records, 0.5)
+        assert first is second
+        assert len(cache) == 1
+        cache.get("tiny", tiny_records, 0.7)
+        assert len(cache) == 2
+
+    def test_pairs_accessor(self, tiny_records, tiny_truth_05) -> None:
+        cache = GroundTruthCache()
+        assert cache.pairs("tiny", tiny_records, 0.5) == tiny_truth_05
+
+    def test_clear(self, tiny_records) -> None:
+        cache = GroundTruthCache()
+        cache.get("tiny", tiny_records, 0.5)
+        cache.clear()
+        assert len(cache) == 0

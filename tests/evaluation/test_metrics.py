@@ -1,0 +1,49 @@
+"""Tests for the precision/recall metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.metrics import f1_score, normalize_pairs, precision, recall
+
+
+class TestNormalizePairs:
+    def test_orders_pairs(self) -> None:
+        assert normalize_pairs([(3, 1), (2, 5)]) == {(1, 3), (2, 5)}
+
+    def test_collapses_duplicates(self) -> None:
+        assert normalize_pairs([(1, 2), (2, 1)]) == {(1, 2)}
+
+
+class TestRecallPrecision:
+    def test_perfect(self) -> None:
+        truth = {(1, 2), (3, 4)}
+        assert recall(truth, truth) == 1.0
+        assert precision(truth, truth) == 1.0
+
+    def test_partial_recall(self) -> None:
+        assert recall([(1, 2)], [(1, 2), (3, 4)]) == 0.5
+
+    def test_partial_precision(self) -> None:
+        assert precision([(1, 2), (5, 6)], [(1, 2)]) == 0.5
+
+    def test_empty_truth_gives_full_recall(self) -> None:
+        assert recall([(1, 2)], []) == 1.0
+
+    def test_empty_report_gives_full_precision(self) -> None:
+        assert precision([], [(1, 2)]) == 1.0
+
+    def test_order_insensitive(self) -> None:
+        assert recall([(2, 1)], [(1, 2)]) == 1.0
+        assert precision([(2, 1)], [(1, 2)]) == 1.0
+
+
+class TestF1:
+    def test_harmonic_mean(self) -> None:
+        reported = [(1, 2), (9, 10)]
+        truth = [(1, 2), (3, 4)]
+        expected = 2 * 0.5 * 0.5 / (0.5 + 0.5)
+        assert f1_score(reported, truth) == pytest.approx(expected)
+
+    def test_zero_when_nothing_matches(self) -> None:
+        assert f1_score([(1, 2)], [(3, 4)]) == 0.0

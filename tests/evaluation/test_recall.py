@@ -1,0 +1,40 @@
+"""Tests for recall measurement and sampling-based estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.recall import estimate_recall_by_sampling, measure_recall
+
+
+class TestMeasureRecall:
+    def test_exact_value(self) -> None:
+        truth = {(1, 2), (3, 4), (5, 6), (7, 8)}
+        reported = {(1, 2), (3, 4), (5, 6)}
+        assert measure_recall(reported, truth) == 0.75
+
+
+class TestSampledRecall:
+    def test_full_truth_used_when_small(self) -> None:
+        truth = {(1, 2), (3, 4)}
+        assert estimate_recall_by_sampling({(1, 2)}, truth, sample_size=100, seed=0) == 0.5
+
+    def test_empty_truth(self) -> None:
+        assert estimate_recall_by_sampling(set(), set()) == 1.0
+
+    def test_invalid_sample_size(self) -> None:
+        with pytest.raises(ValueError):
+            estimate_recall_by_sampling(set(), {(1, 2)}, sample_size=0)
+
+    def test_estimate_close_to_true_recall(self) -> None:
+        truth = {(i, i + 1) for i in range(0, 2000, 2)}
+        reported = {pair for pair in truth if pair[0] % 10 != 0}  # true recall 0.8
+        estimate = estimate_recall_by_sampling(reported, truth, sample_size=400, seed=1)
+        assert abs(estimate - 0.8) < 0.08
+
+    def test_reproducible_with_seed(self) -> None:
+        truth = {(i, i + 1) for i in range(0, 500, 2)}
+        reported = set(list(truth)[:100])
+        first = estimate_recall_by_sampling(reported, truth, sample_size=50, seed=3)
+        second = estimate_recall_by_sampling(reported, truth, sample_size=50, seed=3)
+        assert first == second

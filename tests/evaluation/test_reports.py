@@ -1,0 +1,69 @@
+"""Tests for the CSV / Markdown report exporters."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.evaluation.reports import (
+    measurements_to_rows,
+    rows_to_csv,
+    rows_to_markdown,
+    write_csv,
+    write_markdown,
+)
+
+
+ROWS = [
+    {"dataset": "DBLP", "threshold": 0.5, "seconds": 1.23},
+    {"dataset": "AOL", "threshold": 0.7, "seconds": 0.04, "note": "rare tokens"},
+]
+
+
+class TestCSV:
+    def test_header_and_rows(self) -> None:
+        text = rows_to_csv(ROWS)
+        lines = text.strip().splitlines()
+        assert lines[0] == "dataset,threshold,seconds,note"
+        assert lines[1].startswith("DBLP,0.5,1.23")
+        assert len(lines) == 3
+
+    def test_explicit_columns_subset(self) -> None:
+        text = rows_to_csv(ROWS, columns=["dataset", "seconds"])
+        assert text.strip().splitlines()[0] == "dataset,seconds"
+
+    def test_write_csv_creates_directories(self, tmp_path: Path) -> None:
+        path = write_csv(ROWS, tmp_path / "nested" / "out.csv")
+        assert path.exists()
+        assert "DBLP" in path.read_text()
+
+
+class TestMarkdown:
+    def test_table_structure(self) -> None:
+        text = rows_to_markdown(ROWS)
+        lines = text.splitlines()
+        assert lines[0].startswith("| dataset |")
+        assert set(lines[1].replace("|", "").split()) == {"---"}
+        assert len(lines) == 4
+
+    def test_empty(self) -> None:
+        assert rows_to_markdown([]) == "(no data)"
+
+    def test_write_markdown_with_title(self, tmp_path: Path) -> None:
+        path = write_markdown(ROWS, tmp_path / "report.md", title="Join times")
+        content = path.read_text()
+        assert content.startswith("# Join times")
+        assert "| DBLP |" in content
+
+
+class TestMeasurementConversion:
+    def test_measurements_to_rows(self) -> None:
+        from repro.datasets.synthetic import generate_uniform_dataset
+        from repro.evaluation.runner import ExperimentRunner
+
+        dataset = generate_uniform_dataset(num_records=120, universe_size=80, average_set_size=8,
+                                           planted_pairs_per_similarity=4, seed=3)
+        runner = ExperimentRunner(seed=3)
+        measurement = runner.run_allpairs(dataset, 0.7)
+        rows = measurements_to_rows([measurement])
+        assert rows[0]["dataset"] == dataset.name
+        assert rows[0]["algorithm"] == "ALL"

@@ -1,0 +1,87 @@
+"""Tests for the ALLPAIRS exact join."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exact.allpairs import AllPairsJoin, all_pairs_join
+from repro.exact.naive import naive_join
+from repro.similarity.measures import jaccard_similarity
+
+
+class TestAllPairsCorrectness:
+    def test_tiny_example(self, tiny_records, tiny_truth_05) -> None:
+        assert all_pairs_join(tiny_records, 0.5).pairs == tiny_truth_05
+
+    def test_matches_naive_on_uniform_dataset(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:150]
+        for threshold in (0.5, 0.7, 0.9):
+            assert all_pairs_join(records, threshold).pairs == naive_join(records, threshold).pairs
+
+    def test_matches_naive_on_skewed_dataset(self, skewed_dataset) -> None:
+        records = skewed_dataset.records[:150]
+        for threshold in (0.5, 0.8):
+            assert all_pairs_join(records, threshold).pairs == naive_join(records, threshold).pairs
+
+    def test_matches_naive_on_random_small_sets(self) -> None:
+        rng = random.Random(17)
+        records = [
+            tuple(sorted(rng.sample(range(30), rng.randint(2, 8)))) for _ in range(120)
+        ]
+        for threshold in (0.5, 0.6, 0.75, 0.9):
+            exact = naive_join(records, threshold).pairs
+            assert all_pairs_join(records, threshold).pairs == exact, threshold
+
+    def test_exact_duplicates_found(self) -> None:
+        records = [(1, 2, 3), (1, 2, 3), (4, 5, 6)]
+        assert all_pairs_join(records, 0.9).pairs == {(0, 1)}
+
+    def test_empty_collection(self) -> None:
+        assert all_pairs_join([], 0.5).pairs == set()
+
+    def test_invalid_threshold(self) -> None:
+        with pytest.raises(ValueError):
+            AllPairsJoin(0.0)
+        with pytest.raises(ValueError):
+            AllPairsJoin(1.1)
+
+    def test_threshold_one_returns_only_identical_records(self) -> None:
+        records = [(1, 2), (1, 2), (1, 2, 3)]
+        assert all_pairs_join(records, 1.0).pairs == {(0, 1)}
+
+
+class TestAllPairsStatistics:
+    def test_candidates_not_more_than_pre_candidates(self, uniform_dataset) -> None:
+        result = all_pairs_join(uniform_dataset.records[:200], 0.5)
+        assert result.stats.candidates <= result.stats.pre_candidates
+        assert result.stats.results <= result.stats.candidates
+
+    def test_prefix_filter_beats_naive_on_rare_token_data(self, skewed_dataset) -> None:
+        # On skewed (rare-token) data prefix filtering must verify far fewer
+        # pairs than the quadratic join examines.
+        records = skewed_dataset.records[:250]
+        total_pairs = len(records) * (len(records) - 1) // 2
+        result = all_pairs_join(records, 0.7)
+        assert result.stats.candidates < total_pairs / 2
+
+    def test_stats_metadata(self, tiny_records) -> None:
+        result = all_pairs_join(tiny_records, 0.5)
+        assert result.stats.algorithm == "ALLPAIRS"
+        assert result.stats.threshold == 0.5
+        assert result.stats.num_records == len(tiny_records)
+        assert result.stats.elapsed_seconds >= 0.0
+        assert "index_postings" in result.stats.extra
+
+    def test_reported_pairs_verified(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:150]
+        result = all_pairs_join(records, 0.6)
+        for first, second in result.pairs:
+            assert jaccard_similarity(records[first], records[second]) >= 0.6
+
+    def test_higher_threshold_fewer_candidates(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:200]
+        low = all_pairs_join(records, 0.5)
+        high = all_pairs_join(records, 0.9)
+        assert high.stats.pre_candidates <= low.stats.pre_candidates

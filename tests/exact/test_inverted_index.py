@@ -1,0 +1,47 @@
+"""Tests for the inverted index."""
+
+from __future__ import annotations
+
+from repro.exact.inverted_index import InvertedIndex, Posting
+
+
+class TestInvertedIndex:
+    def test_add_and_retrieve(self) -> None:
+        index = InvertedIndex()
+        index.add(token=5, record_id=0, record_size=3, token_position=1)
+        index.add(token=5, record_id=2, record_size=4, token_position=0)
+        postings = index.postings(5)
+        assert postings == [Posting(0, 3, 1), Posting(2, 4, 0)]
+
+    def test_missing_token_returns_empty_list(self) -> None:
+        index = InvertedIndex()
+        assert index.postings(42) == []
+        assert 42 not in index
+
+    def test_contains_and_len(self) -> None:
+        index = InvertedIndex()
+        index.add(1, 0, 2, 0)
+        index.add(1, 1, 2, 0)
+        index.add(2, 1, 2, 1)
+        assert 1 in index and 2 in index
+        assert len(index) == 2
+        assert index.num_postings == 3
+
+    def test_list_lengths(self) -> None:
+        index = InvertedIndex()
+        for record_id in range(5):
+            index.add(7, record_id, 2, 0)
+        index.add(9, 0, 2, 1)
+        assert index.list_lengths() == {7: 5, 9: 1}
+
+    def test_iter_tokens(self) -> None:
+        index = InvertedIndex()
+        index.add(3, 0, 1, 0)
+        index.add(8, 1, 1, 0)
+        assert sorted(index.iter_tokens()) == [3, 8]
+
+    def test_postings_preserve_insertion_order(self) -> None:
+        index = InvertedIndex()
+        for record_id in (5, 3, 9):
+            index.add(1, record_id, 2, 0)
+        assert [posting.record_id for posting in index.postings(1)] == [5, 3, 9]

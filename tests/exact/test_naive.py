@@ -1,0 +1,53 @@
+"""Tests for the naive quadratic join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exact.naive import naive_join
+from repro.similarity.measures import jaccard_similarity
+
+
+class TestNaiveJoin:
+    def test_tiny_example(self, tiny_records, tiny_truth_05) -> None:
+        result = naive_join(tiny_records, 0.5)
+        assert result.pairs == tiny_truth_05
+
+    def test_higher_threshold_is_subset(self, tiny_records, tiny_truth_05, tiny_truth_07) -> None:
+        result_05 = naive_join(tiny_records, 0.5)
+        result_07 = naive_join(tiny_records, 0.7)
+        assert result_07.pairs == tiny_truth_07
+        assert result_07.pairs <= result_05.pairs
+
+    def test_invalid_threshold(self, tiny_records) -> None:
+        with pytest.raises(ValueError):
+            naive_join(tiny_records, 0.0)
+        with pytest.raises(ValueError):
+            naive_join(tiny_records, 1.5)
+
+    def test_empty_collection(self) -> None:
+        result = naive_join([], 0.5)
+        assert result.pairs == set()
+        assert result.stats.results == 0
+
+    def test_single_record(self) -> None:
+        assert naive_join([(1, 2, 3)], 0.5).pairs == set()
+
+    def test_stats_counts_all_pairs(self, tiny_records) -> None:
+        result = naive_join(tiny_records, 0.5)
+        expected_pairs = len(tiny_records) * (len(tiny_records) - 1) // 2
+        assert result.stats.pre_candidates == expected_pairs
+        assert result.stats.candidates == expected_pairs
+        assert result.stats.results == len(result.pairs)
+        assert result.stats.algorithm == "NAIVE"
+
+    def test_every_reported_pair_meets_threshold(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:120]
+        result = naive_join(records, 0.6)
+        for first, second in result.pairs:
+            assert jaccard_similarity(records[first], records[second]) >= 0.6
+
+    def test_pairs_are_canonical(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:80]
+        result = naive_join(records, 0.5)
+        assert all(first < second for first, second in result.pairs)

@@ -1,0 +1,57 @@
+"""Tests for the PPJOIN exact join."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exact.allpairs import all_pairs_join
+from repro.exact.naive import naive_join
+from repro.exact.ppjoin import PPJoin, ppjoin
+
+
+class TestPPJoinCorrectness:
+    def test_tiny_example(self, tiny_records, tiny_truth_05, tiny_truth_07) -> None:
+        assert ppjoin(tiny_records, 0.5).pairs == tiny_truth_05
+        assert ppjoin(tiny_records, 0.7).pairs == tiny_truth_07
+
+    def test_matches_naive_on_uniform_dataset(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:150]
+        for threshold in (0.5, 0.7, 0.9):
+            assert ppjoin(records, threshold).pairs == naive_join(records, threshold).pairs
+
+    def test_matches_allpairs_on_random_sets(self) -> None:
+        rng = random.Random(23)
+        records = [
+            tuple(sorted(rng.sample(range(40), rng.randint(2, 10)))) for _ in range(150)
+        ]
+        for threshold in (0.5, 0.65, 0.8):
+            assert ppjoin(records, threshold).pairs == all_pairs_join(records, threshold).pairs
+
+    def test_exact_duplicates_found(self) -> None:
+        records = [(7, 8, 9), (7, 8, 9), (7, 8)]
+        assert ppjoin(records, 0.95).pairs == {(0, 1)}
+
+    def test_empty_collection(self) -> None:
+        assert ppjoin([], 0.5).pairs == set()
+
+    def test_invalid_threshold(self) -> None:
+        with pytest.raises(ValueError):
+            PPJoin(0.0)
+
+
+class TestPositionalFilter:
+    def test_positional_filter_prunes_candidates(self, uniform_dataset) -> None:
+        # PPJOIN's positional filter must not generate more verifications than
+        # ALLPAIRS on the same data.
+        records = uniform_dataset.records[:250]
+        allpairs_result = all_pairs_join(records, 0.7)
+        ppjoin_result = ppjoin(records, 0.7)
+        assert ppjoin_result.stats.candidates <= allpairs_result.stats.candidates
+        assert ppjoin_result.pairs == allpairs_result.pairs
+
+    def test_stats_metadata(self, tiny_records) -> None:
+        result = ppjoin(tiny_records, 0.5)
+        assert result.stats.algorithm == "PPJOIN"
+        assert result.stats.results == len(result.pairs)

@@ -1,0 +1,88 @@
+"""Tests for the prefix-filtering substrate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exact.prefix_filter import (
+    FrequencyOrder,
+    index_prefix_length,
+    minimum_compatible_size,
+    prefix_length,
+)
+
+
+class TestPrefixLengths:
+    def test_probing_prefix_formula(self) -> None:
+        # |x| = 10, λ = 0.8: prefix = 10 - 8 + 1 = 3.
+        assert prefix_length(10, 0.8) == 3
+        # |x| = 10, λ = 0.5: prefix = 10 - 5 + 1 = 6.
+        assert prefix_length(10, 0.5) == 6
+
+    def test_index_prefix_no_longer_than_probe_prefix(self) -> None:
+        for size in (1, 5, 17, 100):
+            for threshold in (0.5, 0.6, 0.7, 0.8, 0.9):
+                assert index_prefix_length(size, threshold) <= prefix_length(size, threshold)
+
+    def test_zero_size(self) -> None:
+        assert prefix_length(0, 0.5) == 0
+        assert index_prefix_length(0, 0.5) == 0
+
+    def test_prefix_at_least_one_for_nonempty(self) -> None:
+        for size in range(1, 50):
+            assert prefix_length(size, 0.9) >= 1
+            assert index_prefix_length(size, 0.9) >= 1
+
+    def test_minimum_compatible_size(self) -> None:
+        assert minimum_compatible_size(10, 0.5) == 5
+        assert minimum_compatible_size(10, 0.9) == 9
+        assert minimum_compatible_size(7, 0.5) == 4  # ceil(3.5)
+
+    def test_prefix_correctness_property(self) -> None:
+        # Completeness of prefix filtering: if two same-size records satisfy
+        # J >= λ then their probing prefixes must intersect under any global
+        # order.  Check on a small exhaustive family.
+        size, threshold = 6, 0.5
+        required = math.ceil(threshold / (1 + threshold) * 2 * size - 1e-9)
+        prefix = prefix_length(size, threshold)
+        # Worst case: the overlap tokens are pushed as late as possible; even
+        # then |x| - required + 1 positions must contain an overlap token.
+        assert prefix >= size - required + 1
+
+
+class TestFrequencyOrder:
+    def test_rarest_token_gets_rank_zero(self) -> None:
+        records = [(1, 2), (2, 3), (2, 4)]
+        order = FrequencyOrder(records)
+        # Token 2 appears three times (most frequent) -> highest rank.
+        assert order.rank_of(2) == order.universe_size - 1
+        assert order.frequency_of(2) == 3
+        assert order.frequency_of(99) == 0
+
+    def test_rank_record_is_sorted(self) -> None:
+        records = [(1, 2, 3), (3, 4, 5)]
+        order = FrequencyOrder(records)
+        ranked = order.rank_record((3, 1, 2))
+        assert list(ranked) == sorted(ranked)
+
+    def test_rank_and_token_are_inverse(self) -> None:
+        records = [(10, 20, 30), (20, 40)]
+        order = FrequencyOrder(records)
+        for token in (10, 20, 30, 40):
+            assert order.token_of(order.rank_of(token)) == token
+
+    def test_rank_records_preserves_sizes(self) -> None:
+        records = [(1, 2, 3), (4, 5)]
+        order = FrequencyOrder(records)
+        ranked = order.rank_records(records)
+        assert [len(record) for record in ranked] == [3, 2]
+
+    def test_ties_broken_deterministically(self) -> None:
+        records = [(1, 2), (3, 4)]
+        first = FrequencyOrder(records)
+        second = FrequencyOrder(records)
+        assert [first.rank_of(token) for token in (1, 2, 3, 4)] == [
+            second.rank_of(token) for token in (1, 2, 3, 4)
+        ]

@@ -1,0 +1,63 @@
+"""Tests for the universal hashing helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing.universal import MultiplyShiftHash, UniformHash
+
+
+class TestMultiplyShiftHash:
+    def test_output_range_respects_bits(self) -> None:
+        hasher = MultiplyShiftHash(bits=8, rng=np.random.default_rng(0))
+        values = [hasher.hash_one(key) for key in range(1000)]
+        assert all(0 <= value < 256 for value in values)
+
+    def test_invalid_bits_raise(self) -> None:
+        with pytest.raises(ValueError):
+            MultiplyShiftHash(bits=0)
+        with pytest.raises(ValueError):
+            MultiplyShiftHash(bits=65)
+
+    def test_deterministic(self) -> None:
+        hasher = MultiplyShiftHash(bits=32, rng=np.random.default_rng(1))
+        assert hasher.hash_one(777) == hasher.hash_one(777)
+
+    def test_hash_many_matches_hash_one(self) -> None:
+        hasher = MultiplyShiftHash(bits=16, rng=np.random.default_rng(2))
+        keys = np.array([0, 5, 1000, 2**31], dtype=np.uint64)
+        assert hasher.hash_many(keys).tolist() == [hasher.hash_one(int(key)) for key in keys]
+
+    def test_spread_over_buckets(self) -> None:
+        hasher = MultiplyShiftHash(bits=4, rng=np.random.default_rng(3))
+        buckets = {hasher.hash_one(key) for key in range(200)}
+        # With 16 buckets and 200 keys, nearly all buckets should be hit.
+        assert len(buckets) >= 12
+
+
+class TestUniformHash:
+    def test_values_in_unit_interval(self) -> None:
+        uniform = UniformHash(np.random.default_rng(4))
+        for key in range(500):
+            assert 0.0 <= uniform.value(key) < 1.0
+
+    def test_deterministic_per_instance(self) -> None:
+        uniform = UniformHash(np.random.default_rng(5))
+        assert uniform.value(123) == uniform.value(123)
+
+    def test_different_instances_disagree(self) -> None:
+        first = UniformHash(np.random.default_rng(6))
+        second = UniformHash(np.random.default_rng(7))
+        values_first = [first.value(key) for key in range(100)]
+        values_second = [second.value(key) for key in range(100)]
+        assert values_first != values_second
+
+    def test_mean_is_close_to_half(self) -> None:
+        uniform = UniformHash(np.random.default_rng(8))
+        values = uniform.values(np.arange(5000))
+        assert abs(values.mean() - 0.5) < 0.05
+
+    def test_callable_interface(self) -> None:
+        uniform = UniformHash(np.random.default_rng(9))
+        assert uniform(7) == uniform.value(7)

@@ -1,0 +1,142 @@
+"""Tests for the Chosen Path and MinHash LSH search indexes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.index.chosen_path import ChosenPathIndex
+from repro.index.minhash_lsh import MinHashLSHIndex
+from repro.similarity.measures import jaccard_similarity
+
+
+def build_reference_collection():
+    """A reference collection with known near-duplicates of the query records."""
+    rng = np.random.default_rng(5)
+    base_records = [tuple(sorted(rng.choice(500, size=20, replace=False).tolist())) for _ in range(80)]
+    # Near-duplicates of the first three records (high similarity).
+    duplicates = []
+    for index in range(3):
+        base = list(base_records[index])
+        duplicate = tuple(sorted(base[:-3] + [600 + index, 700 + index, 800 + index]))
+        duplicates.append(duplicate)
+    return base_records, duplicates
+
+
+class TestMinHashLSHIndex:
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(ValueError):
+            MinHashLSHIndex(0.0)
+        with pytest.raises(ValueError):
+            MinHashLSHIndex(0.5, bands=0)
+
+    def test_insert_and_len(self) -> None:
+        index = MinHashLSHIndex(0.5, seed=1)
+        ids = index.insert_all([[1, 2, 3], [4, 5, 6]])
+        assert ids == [0, 1]
+        assert len(index) == 2
+        assert index.record(0) == (1, 2, 3)
+
+    def test_empty_record_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            MinHashLSHIndex(0.5, seed=1).insert([])
+
+    def test_exact_duplicate_always_found(self) -> None:
+        index = MinHashLSHIndex(0.5, seed=2)
+        index.insert([7, 8, 9, 10])
+        results = index.query([7, 8, 9, 10])
+        assert results and results[0] == (0, 1.0)
+
+    def test_query_finds_near_duplicates_with_exact_precision(self) -> None:
+        base_records, duplicates = build_reference_collection()
+        index = MinHashLSHIndex(0.5, seed=3)
+        index.insert_all(base_records)
+        for query_position, query in enumerate(duplicates):
+            results = index.query(query)
+            result_ids = {record_id for record_id, _ in results}
+            assert query_position in result_ids  # the true near-duplicate is found
+            for record_id, similarity in results:
+                assert jaccard_similarity(query, index.record(record_id)) >= 0.5
+                assert similarity == pytest.approx(jaccard_similarity(query, index.record(record_id)))
+
+    def test_collision_probability_monotone(self) -> None:
+        index = MinHashLSHIndex(0.5, bands=16, rows=4, seed=4)
+        values = [index.collision_probability(similarity) for similarity in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert values == sorted(values)
+        assert index.collision_probability(1.0) == pytest.approx(1.0)
+
+    def test_unrelated_query_returns_nothing(self) -> None:
+        index = MinHashLSHIndex(0.5, seed=5)
+        index.insert_all([[1, 2, 3, 4], [5, 6, 7, 8]])
+        assert index.query([100, 200, 300]) == []
+
+
+class TestChosenPathIndex:
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(ValueError):
+            ChosenPathIndex(0.0)
+        with pytest.raises(ValueError):
+            ChosenPathIndex(0.5, depth=0)
+        with pytest.raises(ValueError):
+            ChosenPathIndex(0.5, repetitions=0)
+
+    def test_insert_and_record_access(self) -> None:
+        index = ChosenPathIndex(0.5, depth=3, repetitions=5, seed=1)
+        record_id = index.insert([3, 1, 2])
+        assert record_id == 0
+        assert index.record(0) == (1, 2, 3)
+        assert len(index) == 1
+
+    def test_empty_record_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            ChosenPathIndex(0.5, seed=1).insert([])
+
+    def test_exact_duplicate_found_with_high_probability(self) -> None:
+        index = ChosenPathIndex(0.5, depth=3, repetitions=15, seed=2)
+        index.insert([5, 6, 7, 8, 9])
+        results = index.query([5, 6, 7, 8, 9])
+        assert results and results[0][0] == 0
+
+    def test_query_precision_is_exact(self) -> None:
+        base_records, duplicates = build_reference_collection()
+        index = ChosenPathIndex(0.5, depth=3, repetitions=12, seed=3)
+        index.insert_all(base_records)
+        for query in duplicates:
+            for record_id, similarity in index.query(query):
+                true_similarity = jaccard_similarity(query, index.record(record_id))
+                assert true_similarity >= 0.5
+                assert similarity == pytest.approx(true_similarity)
+
+    def test_recall_of_planted_duplicates(self) -> None:
+        base_records, duplicates = build_reference_collection()
+        index = ChosenPathIndex(0.5, depth=3, repetitions=15, seed=4)
+        index.insert_all(base_records)
+        found = 0
+        for query_position, query in enumerate(duplicates):
+            result_ids = {record_id for record_id, _ in index.query(query)}
+            if query_position in result_ids:
+                found += 1
+        # recall_lower_bound() with depth 3, 15 trees is ~0.99; all three
+        # planted duplicates have similarity well above the threshold.
+        assert found == len(duplicates)
+
+    def test_recall_lower_bound_formula(self) -> None:
+        index = ChosenPathIndex(0.5, depth=4, repetitions=10, seed=5)
+        expected = 1.0 - (1.0 - 1.0 / 5) ** 10
+        assert index.recall_lower_bound() == pytest.approx(expected)
+
+    def test_expected_leaf_count(self) -> None:
+        index = ChosenPathIndex(0.5, depth=3, repetitions=1, seed=6)
+        assert index.expected_leaf_count(20) == pytest.approx(8.0)
+        with pytest.raises(ValueError):
+            index.expected_leaf_count(0)
+
+    def test_candidate_rate_below_full_scan(self) -> None:
+        # The whole point of the index: a query should not have to look at
+        # every stored record.
+        rng = np.random.default_rng(7)
+        records = [tuple(sorted(rng.choice(2000, size=15, replace=False).tolist())) for _ in range(300)]
+        index = ChosenPathIndex(0.5, depth=3, repetitions=5, seed=8)
+        index.insert_all(records)
+        query = records[0]
+        assert len(index.candidates(query)) < len(records) / 2

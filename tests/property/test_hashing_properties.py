@@ -1,0 +1,69 @@
+"""Property-based tests (hypothesis) for the hashing substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.minhash import MinHasher
+from repro.hashing.sketch import build_sketches, popcount, sketch_similarity_threshold
+from repro.hashing.tabulation import TabulationHash
+
+token_sets = st.sets(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=30)
+
+
+@settings(max_examples=50, deadline=None)
+@given(token_sets, st.integers(min_value=0, max_value=2**31))
+def test_tabulation_deterministic(tokens, key) -> None:
+    hasher = TabulationHash(np.random.default_rng(7))
+    assert hasher.hash_one(key % 2**32) == hasher.hash_one(key % 2**32)
+
+
+@settings(max_examples=30, deadline=None)
+@given(token_sets)
+def test_minhash_signature_independent_of_token_order(tokens) -> None:
+    hasher = MinHasher(num_functions=16, seed=3)
+    forward = hasher.signature(sorted(tokens))
+    backward = hasher.signature(sorted(tokens, reverse=True))
+    assert forward.tolist() == backward.tolist()
+
+
+@settings(max_examples=30, deadline=None)
+@given(token_sets, token_sets)
+def test_minhash_estimate_in_unit_interval(first, second) -> None:
+    hasher = MinHasher(num_functions=32, seed=5)
+    signatures = hasher.signatures([sorted(first), sorted(second)])
+    estimate = signatures.estimate_jaccard(0, 1)
+    assert 0.0 <= estimate <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(token_sets, token_sets)
+def test_sketch_estimate_symmetric_and_bounded(first, second) -> None:
+    hasher = MinHasher(num_functions=64, seed=9)
+    signatures = hasher.signatures([sorted(first), sorted(second)])
+    sketches = build_sketches(signatures.matrix, num_words=2, seed=9)
+    forward = sketches.estimate_jaccard(0, 1)
+    backward = sketches.estimate_jaccard(1, 0)
+    assert forward == backward
+    assert -1.0 <= forward <= 1.0
+    assert sketches.estimate_jaccard(0, 0) == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2**63 - 1), min_size=1, max_size=16))
+def test_popcount_matches_python(words) -> None:
+    array = np.array(words, dtype=np.uint64)
+    assert popcount(array) == sum(bin(word).count("1") for word in words)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=0.05, max_value=0.99),
+    st.integers(min_value=64, max_value=2048),
+    st.floats(min_value=0.001, max_value=0.5),
+)
+def test_sketch_cutoff_below_threshold(threshold, num_bits, delta) -> None:
+    cutoff = sketch_similarity_threshold(threshold, num_bits, delta)
+    assert 0.0 <= cutoff < threshold

@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the join algorithms.
+
+The invariants checked here are the ones the paper's problem statement
+promises:
+
+* every exact algorithm returns exactly ``{(x, y) : J(x, y) ≥ λ}``;
+* every approximate algorithm returns a *subset* of that set (100 % precision);
+* results are invariant under record order for the exact algorithms;
+* thresholds are monotone: raising λ can only shrink the result.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CPSJoinConfig
+from repro.core.cpsjoin import cpsjoin
+from repro.exact.allpairs import all_pairs_join
+from repro.exact.naive import naive_join
+from repro.exact.ppjoin import ppjoin
+from repro.approximate.minhash_lsh import MinHashLSHJoin
+from repro.result import canonical_pair
+
+# Collections of 2-30 records, each with 2-12 tokens from a small universe so
+# qualifying pairs actually occur.
+record_strategy = st.lists(
+    st.sets(st.integers(min_value=0, max_value=25), min_size=2, max_size=12).map(lambda s: tuple(sorted(s))),
+    min_size=2,
+    max_size=30,
+)
+threshold_strategy = st.sampled_from([0.5, 0.6, 0.7, 0.8, 0.9])
+
+
+@settings(max_examples=40, deadline=None)
+@given(record_strategy, threshold_strategy)
+def test_allpairs_equals_naive(records, threshold) -> None:
+    assert all_pairs_join(records, threshold).pairs == naive_join(records, threshold).pairs
+
+
+@settings(max_examples=40, deadline=None)
+@given(record_strategy, threshold_strategy)
+def test_ppjoin_equals_naive(records, threshold) -> None:
+    assert ppjoin(records, threshold).pairs == naive_join(records, threshold).pairs
+
+
+@settings(max_examples=25, deadline=None)
+@given(record_strategy, threshold_strategy)
+def test_cpsjoin_is_subset_of_exact(records, threshold) -> None:
+    exact = naive_join(records, threshold).pairs
+    approximate = cpsjoin(records, threshold, CPSJoinConfig(seed=0, repetitions=3))
+    assert approximate.pairs <= exact
+
+
+@settings(max_examples=25, deadline=None)
+@given(record_strategy, threshold_strategy)
+def test_minhash_is_subset_of_exact(records, threshold) -> None:
+    exact = naive_join(records, threshold).pairs
+    approximate = MinHashLSHJoin(threshold, num_hash_functions=2, repetitions=3, seed=0).join(records)
+    assert approximate.pairs <= exact
+
+
+@settings(max_examples=30, deadline=None)
+@given(record_strategy)
+def test_threshold_monotonicity(records) -> None:
+    previous = None
+    for threshold in (0.9, 0.7, 0.5):
+        current = naive_join(records, threshold).pairs
+        if previous is not None:
+            assert previous <= current
+        previous = current
+
+
+@settings(max_examples=30, deadline=None)
+@given(record_strategy, threshold_strategy, st.randoms(use_true_random=False))
+def test_allpairs_invariant_under_permutation(records, threshold, rnd) -> None:
+    """Shuffling the input only permutes indices, never changes the pair set."""
+    permutation = list(range(len(records)))
+    rnd.shuffle(permutation)
+    shuffled = [records[index] for index in permutation]
+    original_pairs = all_pairs_join(records, threshold).pairs
+    shuffled_pairs = all_pairs_join(shuffled, threshold).pairs
+    # Map shuffled indices back to original indices for comparison.
+    remapped = {canonical_pair(permutation[first], permutation[second]) for first, second in shuffled_pairs}
+    assert remapped == original_pairs
+
+
+@settings(max_examples=30, deadline=None)
+@given(record_strategy, threshold_strategy)
+def test_identical_records_always_join(records, threshold) -> None:
+    """Appending an exact duplicate of record 0 must produce the pair (0, n)."""
+    extended = list(records) + [records[0]]
+    result = naive_join(extended, threshold).pairs
+    assert (0, len(extended) - 1) in result

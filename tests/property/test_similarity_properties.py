@@ -1,0 +1,79 @@
+"""Property-based tests (hypothesis) for the similarity measures and verification."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.measures import (
+    braun_blanquet_similarity,
+    cosine_similarity,
+    dice_similarity,
+    jaccard_similarity,
+    overlap_coefficient,
+    overlap_size,
+    required_overlap_for_jaccard,
+)
+from repro.similarity.verify import overlap_sorted, verify_pair_sorted
+
+token_sets = st.sets(st.integers(min_value=0, max_value=200), min_size=1, max_size=40)
+thresholds = st.sampled_from([0.3, 0.5, 0.6, 0.7, 0.8, 0.9])
+
+
+@given(token_sets, token_sets)
+def test_jaccard_is_symmetric(first, second) -> None:
+    assert jaccard_similarity(first, second) == jaccard_similarity(second, first)
+
+
+@given(token_sets)
+def test_jaccard_with_itself_is_one(tokens) -> None:
+    assert jaccard_similarity(tokens, tokens) == 1.0
+
+
+@given(token_sets, token_sets)
+def test_jaccard_in_unit_interval(first, second) -> None:
+    value = jaccard_similarity(first, second)
+    assert 0.0 <= value <= 1.0
+
+
+@given(token_sets, token_sets)
+def test_measure_ordering(first, second) -> None:
+    """Jaccard ≤ Dice and Braun–Blanquet ≤ overlap coefficient, always."""
+    assert jaccard_similarity(first, second) <= dice_similarity(first, second) + 1e-12
+    assert braun_blanquet_similarity(first, second) <= overlap_coefficient(first, second) + 1e-12
+
+
+@given(token_sets, token_sets)
+def test_braun_blanquet_bounds_jaccard(first, second) -> None:
+    """B(x, y) ≤ J(x, y) never holds in general, but J ≤ B ≤ cosine ≤ overlap does."""
+    jaccard = jaccard_similarity(first, second)
+    braun = braun_blanquet_similarity(first, second)
+    cosine = cosine_similarity(first, second)
+    assert jaccard <= braun + 1e-12
+    assert braun <= cosine + 1e-12
+
+
+@given(token_sets, token_sets)
+def test_overlap_sorted_matches_set_intersection(first, second) -> None:
+    assert overlap_sorted(tuple(sorted(first)), tuple(sorted(second))) == overlap_size(first, second)
+
+
+@given(token_sets, token_sets, thresholds)
+def test_verify_pair_matches_direct_computation(first, second, threshold) -> None:
+    """The early-terminating verifier must agree exactly with the definition."""
+    accepted, _ = verify_pair_sorted(tuple(sorted(first)), tuple(sorted(second)), threshold)
+    assert accepted == (jaccard_similarity(first, second) >= threshold)
+
+
+@given(st.integers(min_value=1, max_value=100), st.integers(min_value=1, max_value=100), thresholds)
+def test_required_overlap_is_tight(size_first, size_second, threshold) -> None:
+    """The overlap bound is both sufficient and necessary."""
+    required = required_overlap_for_jaccard(size_first, size_second, threshold)
+    max_possible = min(size_first, size_second)
+    if required <= max_possible:
+        jaccard_at_bound = required / (size_first + size_second - required)
+        assert jaccard_at_bound >= threshold - 1e-9
+    if required > 0:
+        below = required - 1
+        jaccard_below = below / (size_first + size_second - below)
+        assert jaccard_below < threshold

@@ -1,0 +1,140 @@
+"""Tests for the similarity measures."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.similarity.measures import (
+    SIMILARITY_MEASURES,
+    braun_blanquet_similarity,
+    containment,
+    cosine_similarity,
+    dice_similarity,
+    hamming_distance,
+    jaccard_similarity,
+    jaccard_to_braun_blanquet_threshold,
+    overlap_coefficient,
+    overlap_size,
+    required_overlap_for_jaccard,
+)
+
+
+class TestOverlapSize:
+    def test_basic(self) -> None:
+        assert overlap_size({1, 2, 3}, {2, 3, 4}) == 2
+
+    def test_disjoint(self) -> None:
+        assert overlap_size({1, 2}, {3, 4}) == 0
+
+    def test_accepts_lists(self) -> None:
+        assert overlap_size([1, 2, 3], [3, 2]) == 2
+
+    def test_empty(self) -> None:
+        assert overlap_size(set(), {1}) == 0
+
+
+class TestJaccard:
+    def test_paper_example(self) -> None:
+        # The IT University example from the introduction: J = 1/2.
+        x = {"IT", "University", "Copenhagen"}
+        y = {"University", "Copenhagen", "Denmark"}
+        assert jaccard_similarity(x, y) == pytest.approx(0.5)
+
+    def test_identical(self) -> None:
+        assert jaccard_similarity({1, 2, 3}, {1, 2, 3}) == 1.0
+
+    def test_disjoint(self) -> None:
+        assert jaccard_similarity({1}, {2}) == 0.0
+
+    def test_both_empty(self) -> None:
+        assert jaccard_similarity(set(), set()) == 1.0
+
+    def test_one_empty(self) -> None:
+        assert jaccard_similarity(set(), {1, 2}) == 0.0
+
+    def test_symmetry(self) -> None:
+        assert jaccard_similarity({1, 2, 3, 4}, {3, 4, 5}) == jaccard_similarity({3, 4, 5}, {1, 2, 3, 4})
+
+
+class TestOtherMeasures:
+    def test_cosine(self) -> None:
+        assert cosine_similarity({1, 2, 3, 4}, {3, 4, 5, 6}) == pytest.approx(2 / 4)
+        assert cosine_similarity({1, 2}, {1, 2}) == pytest.approx(1.0)
+        assert cosine_similarity(set(), set()) == 1.0
+        assert cosine_similarity(set(), {1}) == 0.0
+
+    def test_dice(self) -> None:
+        assert dice_similarity({1, 2, 3}, {2, 3, 4}) == pytest.approx(4 / 6)
+        assert dice_similarity(set(), set()) == 1.0
+
+    def test_overlap_coefficient(self) -> None:
+        assert overlap_coefficient({1, 2}, {1, 2, 3, 4}) == 1.0
+        assert overlap_coefficient({1, 2, 3}, {3, 4, 5}) == pytest.approx(1 / 3)
+        assert overlap_coefficient(set(), {1}) == 0.0
+
+    def test_braun_blanquet(self) -> None:
+        assert braun_blanquet_similarity({1, 2}, {1, 2, 3, 4}) == 0.5
+        assert braun_blanquet_similarity({1, 2, 3}, {1, 2, 3}) == 1.0
+        assert braun_blanquet_similarity(set(), set()) == 1.0
+
+    def test_braun_blanquet_equals_jaccard_estimate_for_equal_sizes(self) -> None:
+        # For sets of equal size t, B(x, y) = |x∩y| / t, which is equation (2).
+        x = set(range(10))
+        y = set(range(5, 15))
+        assert braun_blanquet_similarity(x, y) == pytest.approx(5 / 10)
+
+    def test_containment(self) -> None:
+        assert containment({1, 2}, {1, 2, 3}) == 1.0
+        assert containment({1, 2, 3}, {1}) == pytest.approx(1 / 3)
+        assert containment(set(), {1}) == 1.0
+
+    def test_hamming(self) -> None:
+        assert hamming_distance({1, 2, 3}, {2, 3, 4}) == 2
+        assert hamming_distance({1}, {1}) == 0
+
+    def test_ordering_consistency(self) -> None:
+        # All measures should agree that (close pair) > (far pair).
+        close_a, close_b = set(range(20)), set(range(2, 22))
+        far_a, far_b = set(range(20)), set(range(15, 35))
+        for name, measure in SIMILARITY_MEASURES.items():
+            assert measure(close_a, close_b) > measure(far_a, far_b), name
+
+
+class TestRequiredOverlap:
+    def test_known_value(self) -> None:
+        # |x| = |y| = 10, λ = 0.5: overlap ≥ ⌈0.5/1.5 * 20⌉ = ⌈6.67⌉ = 7.
+        assert required_overlap_for_jaccard(10, 10, 0.5) == 7
+
+    def test_threshold_one_requires_full_overlap(self) -> None:
+        assert required_overlap_for_jaccard(8, 8, 1.0) == 8
+
+    def test_sufficiency(self) -> None:
+        # If the overlap equals the bound, the Jaccard similarity reaches λ.
+        size_first, size_second, threshold = 12, 9, 0.6
+        overlap = required_overlap_for_jaccard(size_first, size_second, threshold)
+        jaccard = overlap / (size_first + size_second - overlap)
+        assert jaccard >= threshold - 1e-9
+
+    def test_necessity(self) -> None:
+        # One less than the bound must fall below λ.
+        size_first, size_second, threshold = 12, 9, 0.6
+        overlap = required_overlap_for_jaccard(size_first, size_second, threshold) - 1
+        jaccard = overlap / (size_first + size_second - overlap)
+        assert jaccard < threshold
+
+    def test_invalid_arguments(self) -> None:
+        with pytest.raises(ValueError):
+            required_overlap_for_jaccard(5, 5, 0.0)
+        with pytest.raises(ValueError):
+            required_overlap_for_jaccard(-1, 5, 0.5)
+
+
+class TestThresholdMapping:
+    def test_identity(self) -> None:
+        assert jaccard_to_braun_blanquet_threshold(0.7) == 0.7
+
+    def test_invalid(self) -> None:
+        with pytest.raises(ValueError):
+            jaccard_to_braun_blanquet_threshold(0.0)

@@ -1,0 +1,86 @@
+"""Tests for the exact verification kernels."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.similarity.measures import jaccard_similarity
+from repro.similarity.verify import overlap_sorted, verify_pair, verify_pair_sorted
+
+
+class TestOverlapSorted:
+    def test_basic(self) -> None:
+        assert overlap_sorted((1, 2, 3, 5), (2, 3, 4, 5)) == 3
+
+    def test_disjoint(self) -> None:
+        assert overlap_sorted((1, 2), (3, 4)) == 0
+
+    def test_one_empty(self) -> None:
+        assert overlap_sorted((), (1, 2, 3)) == 0
+
+    def test_subset(self) -> None:
+        assert overlap_sorted((2, 4), (1, 2, 3, 4, 5)) == 2
+
+
+class TestVerifyPairSorted:
+    def test_accepts_above_threshold(self) -> None:
+        accepted, similarity = verify_pair_sorted((1, 2, 3, 4), (2, 3, 4, 5), 0.5)
+        assert accepted
+        assert similarity == pytest.approx(3 / 5)
+
+    def test_rejects_below_threshold(self) -> None:
+        accepted, similarity = verify_pair_sorted((1, 2, 3, 4), (2, 3, 4, 5), 0.7)
+        assert not accepted
+        assert similarity <= 3 / 5 + 1e-9
+
+    def test_identical_records(self) -> None:
+        accepted, similarity = verify_pair_sorted((1, 2, 3), (1, 2, 3), 0.99)
+        assert accepted
+        assert similarity == 1.0
+
+    def test_early_termination_gives_upper_bound(self) -> None:
+        # Records engineered so the merge must bail out early; the returned
+        # similarity must still be an upper bound below the threshold.
+        first = tuple(range(0, 100))
+        second = tuple(range(200, 300))
+        accepted, similarity = verify_pair_sorted(first, second, 0.9)
+        assert not accepted
+        assert similarity >= jaccard_similarity(first, second)
+        assert similarity < 0.9
+
+    def test_agrees_with_direct_jaccard_on_random_pairs(self) -> None:
+        rng = random.Random(7)
+        for _ in range(200):
+            first = tuple(sorted(rng.sample(range(60), rng.randint(1, 25))))
+            second = tuple(sorted(rng.sample(range(60), rng.randint(1, 25))))
+            threshold = rng.choice([0.3, 0.5, 0.7, 0.9])
+            accepted, _ = verify_pair_sorted(first, second, threshold)
+            assert accepted == (jaccard_similarity(first, second) >= threshold)
+
+    def test_resume_from_matched_prefix(self) -> None:
+        # Resuming after both records' first two (matching) tokens must give
+        # the same decision as verifying from scratch.
+        first = (1, 2, 5, 7, 9)
+        second = (1, 2, 6, 7, 10)
+        fresh, _ = verify_pair_sorted(first, second, 0.4)
+        resumed, _ = verify_pair_sorted(first, second, 0.4, start_first=2, start_second=2, initial_overlap=2)
+        assert fresh == resumed
+
+
+class TestVerifyPair:
+    def test_sorts_inputs(self) -> None:
+        accepted, similarity = verify_pair([4, 1, 3, 2], [5, 4, 3, 2], 0.5)
+        assert accepted
+        assert similarity == pytest.approx(3 / 5)
+
+    def test_threshold_boundary_inclusive(self) -> None:
+        # J = 0.5 exactly: must be accepted at λ = 0.5.
+        accepted, _ = verify_pair([1, 2, 3], [2, 3, 4, 5, 6, 7], 0.5)
+        assert jaccard_similarity({1, 2, 3}, {2, 3, 4, 5, 6, 7}) == pytest.approx(2 / 7)
+        # Use a pair at exactly 0.5 instead.
+        accepted, similarity = verify_pair([1, 2], [1, 2, 3, 4], 0.5)
+        assert similarity == pytest.approx(0.5)
+        assert accepted

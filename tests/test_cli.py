@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.base import Dataset
+from repro.datasets.io import write_dataset
+
+
+@pytest.fixture
+def dataset_file(tmp_path: Path) -> Path:
+    path = tmp_path / "data.txt"
+    records = [
+        [1, 2, 3, 4],
+        [2, 3, 4, 5],
+        [10, 11, 12, 13],
+        [10, 11, 12, 14],
+        [20, 21, 22],
+    ]
+    write_dataset(Dataset(records, name="clitest"), path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_join_defaults(self) -> None:
+        args = build_parser().parse_args(["join", "data.txt"])
+        assert args.threshold == 0.5
+        assert args.algorithm == "cpsjoin"
+
+    def test_unknown_algorithm_rejected(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["join", "data.txt", "--algorithm", "magic"])
+
+    def test_experiment_names_restricted(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestJoinCommand:
+    def test_join_to_stdout(self, dataset_file, capsys) -> None:
+        exit_code = main(["join", str(dataset_file), "--threshold", "0.5", "--algorithm", "allpairs"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "first,second" in captured.out
+        assert "0,1" in captured.out
+        assert "2,3" in captured.out
+
+    def test_join_to_file(self, dataset_file, tmp_path, capsys) -> None:
+        out = tmp_path / "pairs.csv"
+        exit_code = main(
+            ["join", str(dataset_file), "--algorithm", "cpsjoin", "--seed", "3", "--out", str(out)]
+        )
+        assert exit_code == 0
+        text = out.read_text()
+        assert text.startswith("first,second")
+        assert "0,1" in text
+
+    def test_join_with_repetitions_override(self, dataset_file, capsys) -> None:
+        exit_code = main(
+            ["join", str(dataset_file), "--algorithm", "cpsjoin", "--seed", "1", "--repetitions", "2"]
+        )
+        assert exit_code == 0
+
+
+class TestGenerateAndStats:
+    def test_generate_then_stats_roundtrip(self, tmp_path, capsys) -> None:
+        out = tmp_path / "uniform.txt"
+        exit_code = main(["generate", "UNIFORM005", "--scale", "0.05", "--seed", "5", "--out", str(out)])
+        assert exit_code == 0
+        assert out.exists()
+
+        exit_code = main(["stats", str(out)])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "records:" in captured.out
+        assert "avg set size:" in captured.out
+
+    def test_generate_unknown_profile(self, tmp_path) -> None:
+        with pytest.raises(KeyError):
+            main(["generate", "NOPE", "--out", str(tmp_path / "x.txt")])
+
+
+class TestExperimentCommand:
+    def test_table1_runs(self, capsys) -> None:
+        exit_code = main(["experiment", "table1", "--scale", "0.05", "--seed", "2"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "dataset" in captured.out
+        assert "NETFLIX" in captured.out

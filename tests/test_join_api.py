@@ -1,0 +1,81 @@
+"""Tests for the top-level public API (`repro.similarity_join`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ALGORITHMS, CPSJoinConfig, similarity_join, similarity_join_rs
+from repro.exact.naive import naive_join
+from repro.evaluation.metrics import precision, recall
+from repro.similarity.measures import jaccard_similarity
+
+
+class TestSimilarityJoin:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_every_algorithm_on_tiny_example(self, algorithm, tiny_records, tiny_truth_05) -> None:
+        result = similarity_join(tiny_records, 0.5, algorithm=algorithm, seed=1)
+        assert result.pairs == tiny_truth_05
+
+    def test_unknown_algorithm(self, tiny_records) -> None:
+        with pytest.raises(ValueError):
+            similarity_join(tiny_records, 0.5, algorithm="quantum")
+
+    def test_accepts_unsorted_and_duplicate_tokens(self) -> None:
+        records = [[4, 1, 1, 3, 2], [5, 4, 3, 2, 2]]
+        result = similarity_join(records, 0.5, algorithm="naive")
+        assert result.pairs == {(0, 1)}
+
+    def test_config_passed_to_cpsjoin(self, tiny_records) -> None:
+        config = CPSJoinConfig(repetitions=2, seed=3)
+        result = similarity_join(tiny_records, 0.5, algorithm="cpsjoin", config=config)
+        assert result.stats.repetitions == 2
+
+    def test_seed_applied_when_config_has_none(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:80]
+        config = CPSJoinConfig(repetitions=2)
+        first = similarity_join(records, 0.5, algorithm="cpsjoin", config=config, seed=9)
+        second = similarity_join(records, 0.5, algorithm="cpsjoin", config=config, seed=9)
+        assert first.pairs == second.pairs
+
+    def test_exact_and_approximate_consistent(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:200]
+        exact = similarity_join(records, 0.6, algorithm="allpairs")
+        approx = similarity_join(records, 0.6, algorithm="cpsjoin", seed=4)
+        assert precision(approx.pairs, exact.pairs) == 1.0
+        assert recall(approx.pairs, exact.pairs) >= 0.9
+
+
+class TestSimilarityJoinRS:
+    def test_cross_join_only_reports_cross_pairs(self) -> None:
+        left = [[1, 2, 3, 4], [10, 11, 12]]
+        right = [[1, 2, 3, 5], [10, 11, 12], [20, 21]]
+        result = similarity_join_rs(left, right, 0.5, algorithm="naive")
+        assert result.pairs == {(0, 0), (1, 1)}
+
+    def test_pairs_within_one_side_excluded(self) -> None:
+        left = [[1, 2, 3], [1, 2, 3]]
+        right = [[50, 60]]
+        result = similarity_join_rs(left, right, 0.5, algorithm="naive")
+        assert result.pairs == set()
+
+    def test_indices_refer_to_input_collections(self) -> None:
+        left = [[1, 2, 3, 4]]
+        right = [[99, 100], [1, 2, 3, 4, 5]]
+        result = similarity_join_rs(left, right, 0.5, algorithm="allpairs")
+        assert result.pairs == {(0, 1)}
+        for left_index, right_index in result.pairs:
+            assert jaccard_similarity(left[left_index], right[right_index]) >= 0.5
+
+    def test_cpsjoin_rs_join(self, uniform_dataset) -> None:
+        records = uniform_dataset.records
+        left, right = records[:100], records[100:200]
+        exact = similarity_join_rs(left, right, 0.5, algorithm="allpairs")
+        approx = similarity_join_rs(left, right, 0.5, algorithm="cpsjoin", seed=5)
+        assert precision(approx.pairs, exact.pairs) == 1.0
+        assert recall(approx.pairs, exact.pairs) >= 0.85
+
+    def test_stats_report_cross_result_count(self) -> None:
+        left = [[1, 2, 3]]
+        right = [[1, 2, 3]]
+        result = similarity_join_rs(left, right, 0.9, algorithm="naive")
+        assert result.stats.results == 1

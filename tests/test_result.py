@@ -1,0 +1,64 @@
+"""Tests for the shared result/statistics types."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.result import JoinResult, JoinStats, Timer, canonical_pair
+
+
+class TestCanonicalPair:
+    def test_orders(self) -> None:
+        assert canonical_pair(5, 2) == (2, 5)
+        assert canonical_pair(2, 5) == (2, 5)
+
+    def test_self_pair_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            canonical_pair(3, 3)
+
+
+class TestJoinStats:
+    def test_merge_accumulates(self) -> None:
+        first = JoinStats(pre_candidates=10, candidates=5, verified=5, repetitions=1, elapsed_seconds=1.0)
+        second = JoinStats(pre_candidates=20, candidates=2, verified=2, repetitions=1, elapsed_seconds=0.5,
+                           extra={"tree_nodes": 3.0})
+        first.merge(second)
+        assert first.pre_candidates == 30
+        assert first.candidates == 7
+        assert first.repetitions == 2
+        assert first.elapsed_seconds == pytest.approx(1.5)
+        assert first.extra["tree_nodes"] == 3.0
+
+    def test_as_dict_includes_extra(self) -> None:
+        stats = JoinStats(algorithm="X", extra={"k": 4.0})
+        flat = stats.as_dict()
+        assert flat["algorithm"] == "X"
+        assert flat["k"] == 4.0
+
+
+class TestJoinResult:
+    def make(self) -> JoinResult:
+        return JoinResult(pairs={(1, 2), (3, 4)}, stats=JoinStats(results=2))
+
+    def test_len_and_contains(self) -> None:
+        result = self.make()
+        assert len(result) == 2
+        assert (1, 2) in result
+        assert (2, 1) in result
+        assert (9, 10) not in result
+
+    def test_recall_and_precision_against(self) -> None:
+        result = self.make()
+        assert result.recall_against({(1, 2), (3, 4), (5, 6)}) == pytest.approx(2 / 3)
+        assert result.precision_against({(1, 2)}) == pytest.approx(0.5)
+        assert result.recall_against(set()) == 1.0
+        assert JoinResult(pairs=set(), stats=JoinStats()).precision_against({(1, 2)}) == 1.0
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self) -> None:
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005

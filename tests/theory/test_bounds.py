@@ -1,0 +1,133 @@
+"""Tests for the executable versions of the paper's bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.theory.bounds import (
+    agresti_survival_lower_bound,
+    collision_probability_upper_bound,
+    expected_candidates_global,
+    expected_candidates_individual,
+    optimal_global_depth,
+    recall_lower_bound,
+    recommended_epsilon,
+    recommended_repetitions,
+    tree_depth_bound,
+)
+
+
+class TestAgrestiBound:
+    def test_values(self) -> None:
+        assert agresti_survival_lower_bound(0) == 1.0
+        assert agresti_survival_lower_bound(9) == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self) -> None:
+        values = [agresti_survival_lower_bound(k) for k in range(20)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid(self) -> None:
+        with pytest.raises(ValueError):
+            agresti_survival_lower_bound(-1)
+
+
+class TestCollisionBound:
+    def test_decays_exponentially(self) -> None:
+        assert collision_probability_upper_bound(0, 0.1) == 1.0
+        assert collision_probability_upper_bound(10, 0.1) == pytest.approx(math.exp(-1.0))
+
+    def test_larger_epsilon_decays_faster(self) -> None:
+        assert collision_probability_upper_bound(10, 0.5) < collision_probability_upper_bound(10, 0.1)
+
+    def test_invalid(self) -> None:
+        with pytest.raises(ValueError):
+            collision_probability_upper_bound(-1, 0.1)
+        with pytest.raises(ValueError):
+            collision_probability_upper_bound(1, -0.1)
+
+
+class TestDepthAndRecallBounds:
+    def test_depth_grows_with_n_and_shrinks_with_epsilon(self) -> None:
+        assert tree_depth_bound(10_000, 0.1) > tree_depth_bound(100, 0.1)
+        assert tree_depth_bound(1000, 0.05) > tree_depth_bound(1000, 0.2)
+
+    def test_recall_bound_in_unit_interval(self) -> None:
+        for num_records in (10, 1000, 100_000):
+            value = recall_lower_bound(num_records, 0.1)
+            assert 0.0 < value <= 1.0
+
+    def test_recall_bound_decreases_with_n(self) -> None:
+        assert recall_lower_bound(100, 0.1) >= recall_lower_bound(100_000, 0.1)
+
+    def test_recommended_epsilon_matches_analysis(self) -> None:
+        # ε = log(1/λ)/log(n).
+        assert recommended_epsilon(1000, 0.5) == pytest.approx(math.log(2) / math.log(1000))
+        with pytest.raises(ValueError):
+            recommended_epsilon(1, 0.5)
+
+    def test_invalid_arguments(self) -> None:
+        with pytest.raises(ValueError):
+            tree_depth_bound(1, 0.1)
+        with pytest.raises(ValueError):
+            tree_depth_bound(100, 0.0)
+
+
+class TestRepetitions:
+    def test_examples_from_paper(self) -> None:
+        # Section II: with ϕ = 0.9, three repetitions give 99.9% recall.
+        assert recommended_repetitions(0.9, 0.999) == 3
+
+    def test_low_per_run_recall_needs_many_runs(self) -> None:
+        assert recommended_repetitions(0.05, 0.9) >= 40
+
+    def test_invalid(self) -> None:
+        with pytest.raises(ValueError):
+            recommended_repetitions(1.0, 0.9)
+        with pytest.raises(ValueError):
+            recommended_repetitions(0.5, 0.0)
+
+
+class TestCostModels:
+    def test_global_cost_has_interior_minimum(self) -> None:
+        # A collection of n = 1000 records has ~500k pairs; with almost all of
+        # them far below the threshold, some positive depth beats depth 0
+        # (all-pairs comparison) and very large depths (bucket blowup).
+        num_records = 1000
+        num_pairs = num_records * (num_records - 1) // 2
+        similarities = [0.1] * (num_pairs - 10) + [0.6] * 10
+        cost_at = {
+            depth: expected_candidates_global(num_records, similarities, 0.5, depth) for depth in (0, 4, 20)
+        }
+        assert cost_at[4] < cost_at[0]
+        assert cost_at[4] < cost_at[20]
+
+    def test_optimal_global_depth_finds_the_minimum(self) -> None:
+        similarities = [0.1] * 10_000 + [0.6] * 10
+        best = optimal_global_depth(1000, similarities, 0.5)
+        best_cost = expected_candidates_global(1000, similarities, 0.5, best)
+        for depth in range(1, 15):
+            assert best_cost <= expected_candidates_global(1000, similarities, 0.5, depth) + 1e-9
+
+    def test_individual_cost_never_exceeds_global(self) -> None:
+        # E[T_individual] <= E[T_global]: giving every record its own depth can
+        # only help compared to the single best global depth.
+        per_record = [
+            [0.1] * 50,
+            [0.45] * 50,
+            [0.05] * 50,
+        ]
+        num_records = len(per_record)
+        flattened = [similarity for row in per_record for similarity in row]
+        global_best = min(
+            expected_candidates_global(num_records, flattened, 0.5, depth) for depth in range(0, 30)
+        )
+        individual = expected_candidates_individual(per_record, 0.5)
+        assert individual <= global_best + 1e-6
+
+    def test_invalid_threshold(self) -> None:
+        with pytest.raises(ValueError):
+            expected_candidates_global(10, [0.1], 0.0, 1)
+        with pytest.raises(ValueError):
+            expected_candidates_individual([[0.1]], 1.0)

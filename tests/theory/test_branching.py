@@ -1,0 +1,115 @@
+"""Tests for the Galton–Watson / Chosen Path branching process toolkit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.theory.branching import (
+    GaltonWatsonProcess,
+    OffspringDistribution,
+    chosen_path_offspring_distribution,
+    simulate_pair_collision_probability,
+)
+
+
+class TestOffspringDistribution:
+    def test_probabilities_must_sum_to_one(self) -> None:
+        with pytest.raises(ValueError):
+            OffspringDistribution([0.5, 0.4])
+
+    def test_mean(self) -> None:
+        distribution = OffspringDistribution([0.25, 0.5, 0.25])
+        assert distribution.mean == pytest.approx(1.0)
+
+    def test_generating_function_at_one_is_one(self) -> None:
+        distribution = OffspringDistribution([0.1, 0.3, 0.6])
+        assert distribution.generating_function(1.0) == pytest.approx(1.0)
+
+    def test_generating_function_at_zero_is_p0(self) -> None:
+        distribution = OffspringDistribution([0.2, 0.3, 0.5])
+        assert distribution.generating_function(0.0) == pytest.approx(0.2)
+
+    def test_sample_within_support(self) -> None:
+        distribution = OffspringDistribution([0.5, 0.0, 0.5])
+        samples = distribution.sample(np.random.default_rng(0), size=200)
+        assert set(np.unique(samples)) <= {0, 2}
+
+
+class TestChosenPathOffspring:
+    def test_critical_at_threshold_similarity(self) -> None:
+        # A pair exactly at the threshold (|x ∩ y| = λ t) has offspring mean 1.
+        distribution = chosen_path_offspring_distribution(64, 128, 0.5)
+        assert distribution.mean == pytest.approx(1.0, rel=1e-6)
+
+    def test_supercritical_above_threshold(self) -> None:
+        distribution = chosen_path_offspring_distribution(96, 128, 0.5)  # B = 0.75 > λ
+        assert distribution.mean > 1.0
+
+    def test_subcritical_below_threshold(self) -> None:
+        distribution = chosen_path_offspring_distribution(32, 128, 0.5)  # B = 0.25 < λ
+        assert distribution.mean < 1.0
+
+    def test_zero_intersection_goes_extinct_immediately(self) -> None:
+        distribution = chosen_path_offspring_distribution(0, 128, 0.5)
+        assert distribution.probabilities[0] == pytest.approx(1.0)
+
+    def test_invalid_arguments(self) -> None:
+        with pytest.raises(ValueError):
+            chosen_path_offspring_distribution(-1, 128, 0.5)
+        with pytest.raises(ValueError):
+            chosen_path_offspring_distribution(10, 0, 0.5)
+        with pytest.raises(ValueError):
+            chosen_path_offspring_distribution(10, 128, 0.0)
+
+
+class TestGaltonWatson:
+    def test_expected_generation_size(self) -> None:
+        process = GaltonWatsonProcess(OffspringDistribution([0.0, 0.0, 1.0]))  # always 2 children
+        assert process.expected_generation_size(3) == pytest.approx(8.0)
+
+    def test_extinction_probability_monotone_in_generation(self) -> None:
+        process = GaltonWatsonProcess(OffspringDistribution([0.3, 0.4, 0.3]))
+        values = [process.extinction_probability_by(k) for k in range(0, 10)]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+
+    def test_subcritical_process_dies_out(self) -> None:
+        process = GaltonWatsonProcess(OffspringDistribution([0.6, 0.4]))  # mean 0.4
+        assert process.ultimate_extinction_probability() == pytest.approx(1.0, abs=1e-6)
+
+    def test_supercritical_process_survives_with_positive_probability(self) -> None:
+        process = GaltonWatsonProcess(OffspringDistribution([0.2, 0.2, 0.6]))  # mean 1.4
+        extinction = process.ultimate_extinction_probability()
+        assert extinction < 1.0
+
+    def test_simulation_close_to_analytic_survival(self) -> None:
+        offspring = OffspringDistribution([0.25, 0.5, 0.25])  # critical
+        process = GaltonWatsonProcess(offspring)
+        analytic = process.survival_probability_at(5)
+        simulated = process.simulate_survival(5, trials=3000, rng=np.random.default_rng(1))
+        assert abs(analytic - simulated) < 0.05
+
+    def test_invalid_generation(self) -> None:
+        process = GaltonWatsonProcess(OffspringDistribution([1.0]))
+        with pytest.raises(ValueError):
+            process.expected_generation_size(-1)
+        with pytest.raises(ValueError):
+            process.extinction_probability_by(-1)
+
+
+class TestPairCollisionSimulation:
+    def test_similar_pairs_respect_agresti_bound(self) -> None:
+        # Lemma 5: for sim >= λ the collision probability at depth k is at
+        # least 1/(k+1).
+        depth = 8
+        probability = simulate_pair_collision_probability(
+            similarity=0.5, threshold=0.5, depth=depth, trials=4000, seed=2
+        )
+        assert probability >= 1.0 / (depth + 1) - 0.03
+
+    def test_dissimilar_pairs_collide_rarely(self) -> None:
+        close = simulate_pair_collision_probability(0.6, 0.5, depth=8, trials=2000, seed=3)
+        far = simulate_pair_collision_probability(0.2, 0.5, depth=8, trials=2000, seed=3)
+        assert far < close
+        assert far < 0.1
