@@ -1,0 +1,32 @@
+"""Root pytest configuration: marker assignment for the tier split.
+
+Everything under ``tests/`` is the fast tier-1 correctness suite; everything
+under ``benchmarks/`` is the slow table-regeneration suite.  The markers are
+attached here by path so individual test modules stay clean, and selection
+works uniformly::
+
+    pytest -m tier1          # fast gate (what CI runs per Python version)
+    pytest -m "not slow"     # equivalent
+    pytest -m slow           # benchmark suite only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    for item in items:
+        try:
+            relative = Path(item.fspath).relative_to(_ROOT)
+        except ValueError:
+            continue
+        top = relative.parts[0] if relative.parts else ""
+        if top == "benchmarks":
+            item.add_marker(pytest.mark.slow)
+        elif top == "tests":
+            item.add_marker(pytest.mark.tier1)

@@ -20,6 +20,7 @@ from pathlib import Path
 from repro.experiments import (
     ablation_sketches,
     ablation_stopping,
+    backend_bench,
     figure2,
     figure3,
     table1,
@@ -81,6 +82,10 @@ def main() -> None:
     section("TOKENS scaling", format_table(tokens_scaling.run(scale=max(args.scale, 0.5), seed=args.seed)))
     section("Ablation — stopping strategies", format_table(ablation_stopping.run(scale=args.scale, seed=args.seed)))
     section("Ablation — sketch filter", format_table(ablation_sketches.run(scale=args.scale, seed=args.seed)))
+    section(
+        "Backend micro-benchmark — python vs numpy execution backend",
+        format_table(backend_bench.run(scale=args.scale, seed=args.seed)),
+    )
     section("Total wall-clock time", f"{time.time() - start:.1f} seconds at scale {args.scale}")
 
 

@@ -50,6 +50,9 @@ class MinHashLSHJoin:
         Whether bucket brute-forcing uses the 1-bit sketch filter.
     seed:
         Seed for coordinate sampling (and preprocessing when needed).
+    backend:
+        Execution backend for the bucket brute-forcing (``"python"`` /
+        ``"numpy"``); identical results either way.
     """
 
     CANDIDATE_K_RANGE = range(2, 11)
@@ -63,6 +66,7 @@ class MinHashLSHJoin:
         use_sketches: bool = True,
         sketch_false_negative_rate: float = 0.05,
         seed: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if not 0.0 < threshold < 1.0:
             raise ValueError("threshold must be in (0, 1)")
@@ -75,6 +79,7 @@ class MinHashLSHJoin:
         self.use_sketches = use_sketches
         self.sketch_false_negative_rate = sketch_false_negative_rate
         self.seed = seed
+        self.backend = backend
 
     # ------------------------------------------------------------------ public API
     def join(self, records: Sequence[Sequence[int]]) -> JoinResult:
@@ -178,6 +183,7 @@ class MinHashLSHJoin:
             use_sketches=self.use_sketches,
             sketch_false_negative_rate=self.sketch_false_negative_rate,
             rng=rng,
+            backend=self.backend,
         )
         for bucket in self._bucketize(collection, k, rng):
             brute_forcer.pairs(bucket, pairs)

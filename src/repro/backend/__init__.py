@@ -1,0 +1,70 @@
+"""Pluggable execution backends for the verification hot paths.
+
+``make_backend`` is the registry entry point used by
+:class:`repro.core.bruteforce.BruteForcer` and the LSH baselines::
+
+    backend = make_backend("numpy", collection, threshold)
+
+Two backends ship with the reproduction:
+
+* ``"python"`` — :class:`~repro.backend.python_backend.PythonBackend`, the
+  seed's per-pair verification semantics (reference implementation).
+* ``"numpy"`` — :class:`~repro.backend.numpy_backend.NumpyBackend`,
+  vectorized block verification over CSR-packed token arrays.
+
+Both produce identical verified pair sets and statistics; they differ only
+in throughput.  See ``tests/backend`` for the equivalence suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type, Union
+
+from repro.backend.base import ExecutionBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.python_backend import PythonBackend
+from repro.core.preprocess import PreprocessedCollection
+
+__all__ = [
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "ExecutionBackend",
+    "NumpyBackend",
+    "PythonBackend",
+    "make_backend",
+]
+
+_REGISTRY: Dict[str, Type[ExecutionBackend]] = {
+    PythonBackend.name: PythonBackend,
+    NumpyBackend.name: NumpyBackend,
+}
+
+BACKEND_NAMES = tuple(sorted(_REGISTRY))
+"""Names accepted by ``backend=`` arguments throughout the library."""
+
+DEFAULT_BACKEND = PythonBackend.name
+"""Backend used when none is requested (the reference semantics)."""
+
+
+def make_backend(
+    backend: Union[str, ExecutionBackend, None],
+    collection: PreprocessedCollection,
+    threshold: float,
+) -> ExecutionBackend:
+    """Resolve a backend name (or pass through an instance) for a collection.
+
+    Parameters
+    ----------
+    backend:
+        A registered backend name (``"python"`` / ``"numpy"``), an already
+        constructed :class:`ExecutionBackend` (returned as-is), or ``None``
+        for :data:`DEFAULT_BACKEND`.
+    collection, threshold:
+        The preprocessed collection and Jaccard threshold the kernels bind to.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    name = DEFAULT_BACKEND if backend is None else str(backend).lower()
+    if name not in _REGISTRY:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}")
+    return _REGISTRY[name](collection, threshold)

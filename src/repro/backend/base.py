@@ -1,0 +1,197 @@
+"""Execution-backend interface for the verification hot paths.
+
+Every join in the repository funnels its candidate pairs through the same
+three-stage check (size-compatibility probe, 1-bit minwise sketch filter,
+exact verification on the token sets) and estimates average similarities for
+the adaptive BRUTEFORCE rule.  An :class:`ExecutionBackend` bundles those
+kernels behind one interface so the policy layers (:class:`~repro.core.bruteforce.BruteForcer`,
+the LSH baselines) stay agnostic of *how* the arithmetic is executed:
+
+* :class:`~repro.backend.python_backend.PythonBackend` verifies candidates
+  one pair at a time with the early-terminating merge of
+  :func:`repro.similarity.verify.verify_pair_sorted` — the seed semantics.
+* :class:`~repro.backend.numpy_backend.NumpyBackend` packs the token sets
+  into CSR-style ``uint32``/``int64`` arrays once per collection and verifies
+  whole candidate blocks with vectorized ``searchsorted`` intersections.
+
+Both backends are *exactly* equivalent: a pair is accepted if and only if its
+true Jaccard similarity meets the threshold, so the verified pair sets (and
+the pre-candidate / candidate / verified counters) are identical at seed
+parity.  The property-test suite in ``tests/backend`` enforces this.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.preprocess import PreprocessedCollection
+from repro.hashing.sketch import _HAS_BITWISE_COUNT, popcount_rows
+from repro.result import canonical_pair
+
+__all__ = ["ExecutionBackend"]
+
+Pair = Tuple[int, int]
+
+
+class ExecutionBackend(ABC):
+    """Verification and estimation kernels bound to one preprocessed collection.
+
+    Parameters
+    ----------
+    collection:
+        The preprocessed records (token sets, signatures, sketches).
+    threshold:
+        Jaccard threshold ``λ`` used by the exact verification kernels.
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, collection: PreprocessedCollection, threshold: float) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.collection = collection
+        self.threshold = threshold
+        self.sizes = collection.record_sizes()
+
+    # ------------------------------------------------------------------ filtering
+    def sketch_estimate_one_to_many(self, record_id: int, others: np.ndarray) -> np.ndarray:
+        """Sketch-estimated Jaccard similarity of one record against many."""
+        sketches = self.collection.sketches
+        distances = popcount_rows(sketches.words[others] ^ sketches.words[record_id])
+        return 1.0 - 2.0 * distances / sketches.num_bits
+
+    def _filter_one_to_many(
+        self,
+        record_id: int,
+        others: np.ndarray,
+        use_sketches: bool,
+        sketch_cutoff: float,
+    ) -> np.ndarray:
+        """Candidates among ``others``: size probe plus optional sketch filter."""
+        # Size-compatibility probe: J(x, y) >= λ forces λ <= |y|/|x| <= 1/λ.
+        size_x = self.sizes[record_id]
+        other_sizes = self.sizes[others]
+        passing = (other_sizes >= self.threshold * size_x) & (size_x >= self.threshold * other_sizes)
+        if use_sketches:
+            estimates = self.sketch_estimate_one_to_many(record_id, others)
+            passing &= estimates >= sketch_cutoff
+        return others[passing]
+
+    # ------------------------------------------------------------------ exact verification
+    @abstractmethod
+    def verify_one_to_many(self, record_id: int, others: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of ``others`` truly meet the threshold against ``record_id``."""
+
+    # ------------------------------------------------------------------ candidate pipelines
+    def one_to_many(
+        self,
+        record_id: int,
+        others: np.ndarray,
+        use_sketches: bool,
+        sketch_cutoff: float,
+    ) -> Tuple[int, int, List[int]]:
+        """Full pipeline for one record against many: filter, then verify.
+
+        Returns ``(pre_candidates, verified, accepted_ids)`` where
+        ``pre_candidates`` counts every considered pair and ``verified`` the
+        pairs surviving the filters (and therefore exactly verified).
+        """
+        others = np.asarray(others, dtype=np.intp)
+        pre_candidates = int(others.size)
+        if pre_candidates == 0:
+            return 0, 0, []
+        passing = self._filter_one_to_many(record_id, others, use_sketches, sketch_cutoff)
+        if passing.size == 0:
+            return pre_candidates, 0, []
+        accepted = self.verify_one_to_many(record_id, passing)
+        return pre_candidates, int(passing.size), [int(other) for other in passing[accepted]]
+
+    def all_pairs(
+        self,
+        subset: Sequence[int],
+        use_sketches: bool,
+        sketch_cutoff: float,
+    ) -> Tuple[int, int, Set[Pair]]:
+        """Full pipeline for every pair within ``subset`` (BRUTEFORCEPAIRS).
+
+        The base implementation walks the subset row by row, exactly like the
+        seed implementation; backends may override it with a block kernel.
+        Returns ``(pre_candidates, verified, accepted_pairs)``.
+        """
+        subset = list(subset)
+        pre_candidates = 0
+        verified = 0
+        accepted: Set[Pair] = set()
+        for position, record_id in enumerate(subset):
+            rest = subset[position + 1 :]
+            if not rest:
+                continue
+            pre, checked, accepted_ids = self.one_to_many(
+                record_id, np.asarray(rest, dtype=np.intp), use_sketches, sketch_cutoff
+            )
+            pre_candidates += pre
+            verified += checked
+            for other_id in accepted_ids:
+                accepted.add(canonical_pair(record_id, other_id))
+        return pre_candidates, verified, accepted
+
+    # ------------------------------------------------------------------ average similarity
+    def average_similarity_exact(self, subset: List[int]) -> np.ndarray:
+        """Exact average Braun–Blanquet similarity on the embedded sets (Algorithm 2).
+
+        With ``count[j]`` the number of records in the subproblem containing
+        embedded token ``j``, the average similarity of ``x`` to the rest is
+        ``(1/(|S|-1)) Σ_{j ∈ f(x)} (count[j] - 1) / t``.
+        """
+        signatures = self.collection.signatures.matrix
+        subset_array = np.asarray(subset, dtype=np.intp)
+        sub_signatures = signatures[subset_array]  # (|S|, t)
+        num_records, num_functions = sub_signatures.shape
+
+        averages = np.zeros(num_records)
+        # count[(i, value)] is computed column by column: within coordinate i,
+        # records sharing the same MinHash value share the embedded token.
+        for coordinate in range(num_functions):
+            column = sub_signatures[:, coordinate]
+            unique_values, inverse, counts = np.unique(column, return_inverse=True, return_counts=True)
+            averages += (counts[inverse] - 1) / num_functions
+        return averages / (num_records - 1)
+
+    def average_similarity_sampled(
+        self, subset: List[int], sample_size: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sampled sketch estimate of the average similarity (Section V-A.4)."""
+        sketches = self.collection.sketches
+        subset_array = np.asarray(subset, dtype=np.intp)
+        sample_count = min(sample_size, len(subset))
+        sample = rng.choice(subset_array, size=sample_count, replace=False)
+
+        subset_words = sketches.words[subset_array]  # (|S|, ℓ)
+        sample_words = sketches.words[sample]  # (m, ℓ)
+        # XOR every subset sketch against every sampled sketch and popcount.
+        # Iterating over the (at most ``sample_size``) sampled sketches keeps
+        # the temporaries at |S| × ℓ words instead of materializing the full
+        # |S| × m × ℓ broadcast; the resulting distance matrix is identical.
+        distances = np.empty((len(subset), sample_count), dtype=np.int64)
+        if _HAS_BITWISE_COUNT:
+            buffer = np.empty_like(subset_words)
+            for column, sample_row in enumerate(sample_words):
+                np.bitwise_xor(subset_words, sample_row, out=buffer)
+                np.bitwise_count(buffer, out=buffer)
+                buffer.sum(axis=1, dtype=np.int64, out=distances[:, column])
+        else:
+            for column, sample_row in enumerate(sample_words):
+                distances[:, column] = popcount_rows(subset_words ^ sample_row)
+        estimates = 1.0 - 2.0 * distances / sketches.num_bits
+
+        # A record may appear in its own sample; correct the mean by removing
+        # the (similarity = 1) self term where present.
+        sample_set = {int(record_id) for record_id in sample}
+        averages = estimates.mean(axis=1)
+        for position, record_id in enumerate(subset):
+            if int(record_id) in sample_set and sample_count > 1:
+                averages[position] = (averages[position] * sample_count - 1.0) / (sample_count - 1)
+        return averages

@@ -1,0 +1,31 @@
+"""Reference execution backend: per-pair verification in pure Python.
+
+This backend reproduces the seed implementation's semantics exactly: every
+candidate surviving the size and sketch filters is verified with the
+early-terminating merge of :func:`repro.similarity.verify.verify_pair_sorted`,
+one pair at a time.  It is the correctness baseline the vectorized backends
+are tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ExecutionBackend
+from repro.similarity.verify import verify_pair_sorted
+
+__all__ = ["PythonBackend"]
+
+
+class PythonBackend(ExecutionBackend):
+    """Scalar verification backend (the seed semantics)."""
+
+    name = "python"
+
+    def verify_one_to_many(self, record_id: int, others: np.ndarray) -> np.ndarray:
+        record = self.collection.records[record_id]
+        records = self.collection.records
+        accepted = np.zeros(others.size, dtype=bool)
+        for position, other_id in enumerate(others):
+            accepted[position] = verify_pair_sorted(record, records[int(other_id)], self.threshold)[0]
+        return accepted

@@ -12,7 +12,8 @@ Python:
 * ``repro-join stats`` — print the Table I statistics of a dataset file.
 * ``repro-join experiment`` — run one of the paper's experiments by name
   (``table1``, ``table2``, ``figure2``, ``figure3``, ``table4``,
-  ``tokens``, ``ablation-stopping``, ``ablation-sketches``).
+  ``tokens``, ``ablation-stopping``, ``ablation-sketches``,
+  ``backend-bench``).
 
 Examples::
 
@@ -49,6 +50,18 @@ def build_parser() -> argparse.ArgumentParser:
     join_parser.add_argument("--algorithm", choices=ALGORITHMS, default="cpsjoin")
     join_parser.add_argument("--seed", type=int, default=None, help="random seed for the randomized algorithms")
     join_parser.add_argument("--repetitions", type=int, default=None, help="CPSJOIN repetitions (default 10)")
+    join_parser.add_argument(
+        "--backend",
+        choices=["python", "numpy"],
+        default=None,
+        help="execution backend for the verification hot paths (default python)",
+    )
+    join_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel repetition workers for cpsjoin (default 1; results are seed-deterministic)",
+    )
     join_parser.add_argument("--out", type=str, default=None, help="write pairs as CSV to this path (default stdout)")
 
     generate_parser = subparsers.add_parser("generate", help="generate a surrogate or synthetic dataset")
@@ -72,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
             "tokens",
             "ablation-stopping",
             "ablation-sketches",
+            "backend-bench",
         ],
     )
     experiment_parser.add_argument("--scale", type=float, default=0.3)
@@ -87,7 +101,17 @@ def _command_join(args: argparse.Namespace) -> int:
         if args.repetitions is not None:
             overrides["repetitions"] = args.repetitions
         config = CPSJoinConfig(seed=args.seed, **overrides)
-    result = similarity_join(dataset.records, args.threshold, algorithm=args.algorithm, config=config, seed=args.seed)
+    # backend/workers are threaded as similarity_join kwargs (one code path
+    # for every algorithm); for cpsjoin they override the config built above.
+    result = similarity_join(
+        dataset.records,
+        args.threshold,
+        algorithm=args.algorithm,
+        config=config,
+        seed=args.seed,
+        backend=args.backend,
+        workers=args.workers,
+    )
 
     rows = [{"first": first, "second": second} for first, second in sorted(result.pairs)]
     csv_text = rows_to_csv(rows, columns=["first", "second"])
@@ -133,6 +157,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
         ablation_sketches,
         ablation_stopping,
+        backend_bench,
         figure2,
         figure3,
         table1,
@@ -161,6 +186,8 @@ def _command_experiment(args: argparse.Namespace) -> int:
         print(format_table(ablation_stopping.run(scale=args.scale, seed=args.seed)))
     elif name == "ablation-sketches":
         print(format_table(ablation_sketches.run(scale=args.scale, seed=args.seed)))
+    elif name == "backend-bench":
+        print(format_table(backend_bench.run(scale=args.scale, seed=args.seed)))
     return 0
 
 

@@ -17,18 +17,24 @@ All candidate pairs go through the same two-stage check the paper describes:
 a size-compatibility probe and the 1-bit minwise sketch estimate with cut-off
 ``λ̂`` (chosen for false-negative probability ``δ``); survivors are verified
 exactly on the original token sets.
+
+The arithmetic itself is delegated to a pluggable execution backend
+(:mod:`repro.backend`): the ``"python"`` backend verifies survivors one pair
+at a time (the reference semantics), the ``"numpy"`` backend verifies whole
+candidate blocks with vectorized kernels.  The two are exactly equivalent;
+``BruteForcer`` only owns the policy (which subsets to compare) and the
+statistics bookkeeping.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from repro.core.preprocess import PreprocessedCollection
-from repro.hashing.sketch import popcount_rows, sketch_similarity_threshold
+from repro.hashing.sketch import sketch_similarity_threshold
 from repro.result import JoinStats, canonical_pair
-from repro.similarity.verify import verify_pair_sorted
 
 __all__ = ["BruteForcer"]
 
@@ -52,6 +58,9 @@ class BruteForcer:
         ``δ`` — used to derive the sketch estimate cut-off ``λ̂``.
     rng:
         Randomness used only for the sampled average-similarity estimator.
+    backend:
+        Execution backend: a name (``"python"`` / ``"numpy"``) or an already
+        constructed :class:`repro.backend.ExecutionBackend` instance.
     """
 
     def __init__(
@@ -62,7 +71,10 @@ class BruteForcer:
         use_sketches: bool = True,
         sketch_false_negative_rate: float = 0.05,
         rng: Optional[np.random.Generator] = None,
+        backend: Union[str, "object", None] = None,
     ) -> None:
+        from repro.backend import make_backend
+
         if not 0.0 < threshold <= 1.0:
             raise ValueError("threshold must be in (0, 1]")
         self.collection = collection
@@ -73,55 +85,32 @@ class BruteForcer:
         self.sketch_cutoff = sketch_similarity_threshold(
             threshold, collection.sketches.num_bits, sketch_false_negative_rate
         )
-        self._sizes = collection.record_sizes()
+        self.backend = make_backend(backend, collection, threshold)
 
     # ------------------------------------------------------------------ pair reporting
     def pairs(self, subset: Sequence[int], output: Set[Tuple[int, int]]) -> None:
         """BRUTEFORCEPAIRS: report all pairs within ``subset`` meeting the threshold."""
-        subset = list(subset)
-        for position, record_id in enumerate(subset):
-            rest = subset[position + 1 :]
-            if rest:
-                self._compare_one_to_many(record_id, rest, output)
+        pre_candidates, verified, accepted = self.backend.all_pairs(
+            subset, self.use_sketches, self.sketch_cutoff
+        )
+        self.stats.pre_candidates += pre_candidates
+        self.stats.candidates += verified
+        self.stats.verified += verified
+        output |= accepted
 
     def point(self, subset: Sequence[int], record_id: int, output: Set[Tuple[int, int]]) -> None:
         """BRUTEFORCEPOINT: report all pairs between ``record_id`` and ``subset``."""
         others = [other for other in subset if other != record_id]
-        if others:
-            self._compare_one_to_many(record_id, others, output)
-
-    def _compare_one_to_many(
-        self, record_id: int, others: List[int], output: Set[Tuple[int, int]]
-    ) -> None:
-        """Compare one record against many: size probe, sketch filter, exact verify."""
-        self.stats.pre_candidates += len(others)
-        others_array = np.asarray(others, dtype=np.intp)
-
-        # Size-compatibility probe: J(x, y) >= λ forces λ <= |y|/|x| <= 1/λ.
-        size_x = self._sizes[record_id]
-        other_sizes = self._sizes[others_array]
-        size_ok = (other_sizes >= self.threshold * size_x) & (size_x >= self.threshold * other_sizes)
-
-        if self.use_sketches:
-            estimates = self._estimate_many(record_id, others_array)
-            passing = size_ok & (estimates >= self.sketch_cutoff)
-        else:
-            passing = size_ok
-
-        record = self.collection.records[record_id]
-        for other_id in others_array[passing]:
-            other_id = int(other_id)
-            self.stats.candidates += 1
-            self.stats.verified += 1
-            accepted, _ = verify_pair_sorted(record, self.collection.records[other_id], self.threshold)
-            if accepted:
-                output.add(canonical_pair(record_id, other_id))
-
-    def _estimate_many(self, record_id: int, others: np.ndarray) -> np.ndarray:
-        """Sketch-estimated Jaccard similarity of one record against many."""
-        sketches = self.collection.sketches
-        distances = popcount_rows(sketches.words[others] ^ sketches.words[record_id])
-        return 1.0 - 2.0 * distances / sketches.num_bits
+        if not others:
+            return
+        pre_candidates, verified, accepted_ids = self.backend.one_to_many(
+            record_id, np.asarray(others, dtype=np.intp), self.use_sketches, self.sketch_cutoff
+        )
+        self.stats.pre_candidates += pre_candidates
+        self.stats.candidates += verified
+        self.stats.verified += verified
+        for other_id in accepted_ids:
+            output.add(canonical_pair(record_id, other_id))
 
     # ------------------------------------------------------------------ average similarity
     def average_similarities(
@@ -143,47 +132,7 @@ class BruteForcer:
         if len(subset) < 2:
             return np.zeros(len(subset))
         if method == "tokens":
-            return self._average_similarity_exact(subset)
+            return self.backend.average_similarity_exact(subset)
         if method == "sketches":
-            return self._average_similarity_sampled(subset, sample_size)
+            return self.backend.average_similarity_sampled(subset, sample_size, self.rng)
         raise ValueError(f"unknown average method: {method!r}")
-
-    def _average_similarity_exact(self, subset: List[int]) -> np.ndarray:
-        """Exact average Braun–Blanquet similarity on the embedded sets (Algorithm 2)."""
-        signatures = self.collection.signatures.matrix
-        subset_array = np.asarray(subset, dtype=np.intp)
-        sub_signatures = signatures[subset_array]  # (|S|, t)
-        num_records, num_functions = sub_signatures.shape
-
-        averages = np.zeros(num_records)
-        # count[(i, value)] is computed column by column: within coordinate i,
-        # records sharing the same MinHash value share the embedded token.
-        for coordinate in range(num_functions):
-            column = sub_signatures[:, coordinate]
-            unique_values, inverse, counts = np.unique(column, return_inverse=True, return_counts=True)
-            averages += (counts[inverse] - 1) / num_functions
-        return averages / (num_records - 1)
-
-    def _average_similarity_sampled(self, subset: List[int], sample_size: int) -> np.ndarray:
-        """Sampled sketch estimate of the average similarity (Section V-A.4)."""
-        sketches = self.collection.sketches
-        subset_array = np.asarray(subset, dtype=np.intp)
-        sample_count = min(sample_size, len(subset))
-        sample = self.rng.choice(subset_array, size=sample_count, replace=False)
-
-        subset_words = sketches.words[subset_array]  # (|S|, ℓ)
-        sample_words = sketches.words[sample]  # (m, ℓ)
-        # XOR every subset sketch against every sampled sketch and popcount.
-        xored = subset_words[:, np.newaxis, :] ^ sample_words[np.newaxis, :, :]
-        flat = xored.reshape(len(subset) * sample_count, sketches.num_words)
-        distances = popcount_rows(flat).reshape(len(subset), sample_count)
-        estimates = 1.0 - 2.0 * distances / sketches.num_bits
-
-        # A record may appear in its own sample; correct the mean by removing
-        # the (similarity = 1) self term where present.
-        sample_set = {int(record_id) for record_id in sample}
-        averages = estimates.mean(axis=1)
-        for position, record_id in enumerate(subset):
-            if int(record_id) in sample_set and sample_count > 1:
-                averages[position] = (averages[position] * sample_count - 1.0) / (sample_count - 1)
-        return averages

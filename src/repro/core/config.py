@@ -14,6 +14,7 @@ __all__ = ["CPSJoinConfig"]
 
 _VALID_STOPPING = ("adaptive", "global", "individual")
 _VALID_AVERAGE_METHODS = ("sketches", "tokens")
+_VALID_BACKENDS = ("python", "numpy")
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,14 @@ class CPSJoinConfig:
     seed:
         Seed controlling the embedding, the sketches, and the splitting
         randomness.  Repetition ``r`` uses ``seed + r``.
+    backend:
+        Execution backend for the verification hot paths: ``"python"``
+        (per-pair reference semantics) or ``"numpy"`` (vectorized block
+        verification).  Both return identical pair sets at seed parity.
+    workers:
+        Number of parallel workers the repetition engine uses to run the
+        independent repetitions (1 = sequential).  Results are deterministic
+        for a fixed seed regardless of the worker count.
     """
 
     limit: int = 250
@@ -76,6 +85,8 @@ class CPSJoinConfig:
     average_method: str = "sketches"
     max_depth: int = 64
     seed: Optional[int] = None
+    backend: str = "python"
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.limit < 1:
@@ -96,6 +107,10 @@ class CPSJoinConfig:
             raise ValueError(f"average_method must be one of {_VALID_AVERAGE_METHODS}")
         if self.max_depth < 1:
             raise ValueError("max_depth must be positive")
+        if self.backend not in _VALID_BACKENDS:
+            raise ValueError(f"backend must be one of {_VALID_BACKENDS}")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
 
     def with_seed(self, seed: Optional[int]) -> "CPSJoinConfig":
         """Return a copy of the configuration with a different seed."""

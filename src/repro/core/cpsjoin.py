@@ -29,7 +29,6 @@ recall.
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -71,21 +70,16 @@ class CPSJoin:
         return self.join_preprocessed(collection)
 
     def join_preprocessed(self, collection: PreprocessedCollection) -> JoinResult:
-        """Run the configured number of repetitions on a preprocessed collection."""
-        pairs: Set[Tuple[int, int]] = set()
-        total_stats = JoinStats(
-            algorithm="CPSJOIN",
-            threshold=self.threshold,
-            num_records=collection.num_records,
-            repetitions=0,
-            preprocessing_seconds=collection.preprocessing_seconds,
-        )
-        for repetition in range(self.config.repetitions):
-            run_result = self.run_once(collection, repetition=repetition)
-            pairs |= run_result.pairs
-            total_stats.merge(run_result.stats)
-        total_stats.results = len(pairs)
-        return JoinResult(pairs=pairs, stats=total_stats)
+        """Run the configured number of repetitions on a preprocessed collection.
+
+        Repetitions are dispatched through the repetition engine, which honours
+        ``config.workers`` (parallel execution with deterministic merging) and
+        reports wall-clock vs summed worker time separately.
+        """
+        from repro.core.repetition import RepetitionEngine
+
+        engine = RepetitionEngine(self, collection, workers=self.config.workers)
+        return engine.run_fixed(self.config.repetitions)
 
     def run_once(self, collection: PreprocessedCollection, repetition: int = 0) -> JoinResult:
         """Run a single repetition of CPSJOIN on a preprocessed collection."""
@@ -104,6 +98,7 @@ class CPSJoin:
             use_sketches=self.config.use_sketches,
             sketch_false_negative_rate=self.config.sketch_false_negative_rate,
             rng=rng,
+            backend=self.config.backend,
         )
         pairs: Set[Tuple[int, int]] = set()
         all_records = list(range(collection.num_records))
@@ -219,12 +214,21 @@ class CPSJoin:
         buckets: List[List[int]] = []
         for coordinate in chosen:
             values = collection.signatures.matrix[subset_array, coordinate]
-            groups: Dict[int, List[int]] = defaultdict(list)
-            for record_id, value in zip(subset, values):
-                groups[int(value)].append(record_id)
-            for group in groups.values():
-                if len(group) >= 2:
-                    buckets.append(group)
+            # Vectorized grouping equivalent to inserting into a dict in
+            # subset order: the stable argsort keeps records in subset order
+            # within each bucket, and buckets are emitted by first occurrence
+            # so the recursion (and its randomness consumption) matches the
+            # reference implementation exactly.
+            unique_values, inverse, counts = np.unique(
+                values, return_inverse=True, return_counts=True
+            )
+            order = np.argsort(inverse, kind="stable")
+            ends = np.cumsum(counts)
+            starts = ends - counts
+            for group_index in np.argsort(order[starts], kind="stable"):
+                if counts[group_index] >= 2:
+                    members = subset_array[order[starts[group_index] : ends[group_index]]]
+                    buckets.append(members.tolist())
         return buckets
 
     # ------------------------------------------------------------------ ablation strategies

@@ -12,7 +12,7 @@ in :class:`repro.result.JoinStats.preprocessing_seconds`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -46,6 +46,10 @@ class PreprocessedCollection:
     signatures: MinHashSignatures
     sketches: OneBitMinHashSketches
     preprocessing_seconds: float
+    _packed_tokens: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, repr=False, compare=False
+    )
+    _sketch_bigints: Optional[List[int]] = field(default=None, repr=False, compare=False)
 
     @property
     def num_records(self) -> int:
@@ -58,6 +62,44 @@ class PreprocessedCollection:
     def record_sizes(self) -> np.ndarray:
         """Sizes of all records as an int array (used by size filters)."""
         return np.array([len(record) for record in self.records], dtype=np.int64)
+
+    def packed_tokens(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR-style packed token arrays ``(values, offsets)``, built lazily.
+
+        ``values`` concatenates every record's sorted tokens as ``int64``;
+        record ``i`` occupies ``values[offsets[i]:offsets[i + 1]]``.  The
+        arrays are cached on the collection so the vectorized backend packs
+        each dataset only once across repetitions.  Concurrent first calls
+        from parallel repetition workers are a benign race: both compute the
+        same arrays and the last assignment wins.
+        """
+        if self._packed_tokens is None:
+            offsets = np.zeros(len(self.records) + 1, dtype=np.int64)
+            np.cumsum([len(record) for record in self.records], out=offsets[1:])
+            values = np.fromiter(
+                (token for record in self.records for token in record),
+                dtype=np.int64,
+                count=int(offsets[-1]),
+            )
+            self._packed_tokens = (values, offsets)
+        return self._packed_tokens
+
+    def sketch_bigints(self) -> List[int]:
+        """Each record's 1-bit sketch as one Python integer, built lazily.
+
+        The scalar fast paths compare sketches with ``int.bit_count()`` on
+        these arbitrary-precision integers instead of dispatching numpy calls
+        on tiny arrays; cached like :meth:`packed_tokens` (same benign race).
+        """
+        if self._sketch_bigints is None:
+            words = np.ascontiguousarray(self.sketches.words)
+            row_bytes = words.shape[1] * words.dtype.itemsize
+            raw = words.tobytes()
+            self._sketch_bigints = [
+                int.from_bytes(raw[index * row_bytes : (index + 1) * row_bytes], "little")
+                for index in range(words.shape[0])
+            ]
+        return self._sketch_bigints
 
 
 def preprocess_collection(

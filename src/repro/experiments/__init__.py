@@ -20,6 +20,7 @@ Table IV (candidate counts)     :mod:`repro.experiments.table4`
 TOKENS scaling discussion       :mod:`repro.experiments.tokens_scaling`
 Stopping-strategy argument      :mod:`repro.experiments.ablation_stopping`
 Sketching design choice         :mod:`repro.experiments.ablation_sketches`
+Backend micro-benchmark         :mod:`repro.experiments.backend_bench`
 ==============================  =======================================
 """
 
@@ -32,4 +33,5 @@ __all__ = [
     "tokens_scaling",
     "ablation_stopping",
     "ablation_sketches",
+    "backend_bench",
 ]

@@ -40,6 +40,8 @@ def similarity_join(
     algorithm: str = "cpsjoin",
     config: Optional[CPSJoinConfig] = None,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> JoinResult:
     """Compute the set similarity self-join of a collection.
 
@@ -59,6 +61,13 @@ def similarity_join(
     seed:
         Randomness seed for the randomized algorithms; ignored by the exact
         ones.
+    backend:
+        Execution backend for the verification hot paths (``"python"`` /
+        ``"numpy"``); used by ``cpsjoin``, ``minhash`` and ``bayeslsh`` and
+        ignored by the exact algorithms.  Overrides ``config.backend``.
+    workers:
+        Parallel repetition workers for ``cpsjoin`` (overrides
+        ``config.workers``); ignored by the other algorithms.
 
     Returns
     -------
@@ -72,11 +81,18 @@ def similarity_join(
         effective = config if config is not None else CPSJoinConfig(seed=seed)
         if seed is not None and config is not None and config.seed is None:
             effective = config.with_seed(seed)
+        overrides = {}
+        if backend is not None:
+            overrides["backend"] = backend
+        if workers is not None:
+            overrides["workers"] = workers
+        if overrides:
+            effective = effective.with_overrides(**overrides)
         return CPSJoin(threshold, effective).join(normalized)
     if name == "minhash":
-        return MinHashLSHJoin(threshold, seed=seed).join(normalized)
+        return MinHashLSHJoin(threshold, seed=seed, backend=backend).join(normalized)
     if name == "bayeslsh":
-        return BayesLSHJoin(threshold, seed=seed).join(normalized)
+        return BayesLSHJoin(threshold, seed=seed, backend=backend).join(normalized)
     if name == "allpairs":
         return AllPairsJoin(threshold).join(normalized)
     if name == "ppjoin":
@@ -93,6 +109,8 @@ def similarity_join_rs(
     algorithm: str = "cpsjoin",
     config: Optional[CPSJoinConfig] = None,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> JoinResult:
     """Compute the R ⋈ S similarity join of two collections.
 
@@ -102,7 +120,15 @@ def similarity_join_rs(
     the two input collections.
     """
     union = list(left_records) + list(right_records)
-    self_result = similarity_join(union, threshold, algorithm=algorithm, config=config, seed=seed)
+    self_result = similarity_join(
+        union,
+        threshold,
+        algorithm=algorithm,
+        config=config,
+        seed=seed,
+        backend=backend,
+        workers=workers,
+    )
     split = len(left_records)
 
     cross_pairs: Set[Tuple[int, int]] = set()

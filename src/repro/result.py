@@ -46,15 +46,29 @@ class JoinStats:
     results: int = 0
     repetitions: int = 1
     elapsed_seconds: float = 0.0
+    worker_seconds: float = 0.0
     preprocessing_seconds: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
 
     def merge(self, other: "JoinStats") -> None:
-        """Accumulate counters from another run (used by the repetition driver)."""
+        """Accumulate counters from another run (used by the repetition driver).
+
+        Timing fields are kept separate so parallel repetitions report honest
+        numbers: ``worker_seconds`` accumulates the CPU time the individual
+        runs measured for themselves, while ``elapsed_seconds`` is meant to be
+        the wall-clock time of the whole join — the repetition engine
+        overwrites it with its own wall-clock timer after merging, so that
+        running repetitions on 4 workers does not report 4× the real time.
+        """
         self.pre_candidates += other.pre_candidates
         self.candidates += other.candidates
         self.verified += other.verified
         self.elapsed_seconds += other.elapsed_seconds
+        # A leaf run (single repetition) carries its time in elapsed_seconds
+        # and has worker_seconds == 0; an already merged aggregate carries the
+        # summed worker time in worker_seconds.  Taking whichever is set keeps
+        # nested merges from double counting.
+        self.worker_seconds += other.worker_seconds if other.worker_seconds > 0.0 else other.elapsed_seconds
         self.repetitions += other.repetitions
         for key, value in other.extra.items():
             if key.startswith("max_"):
@@ -75,6 +89,7 @@ class JoinStats:
             "results": self.results,
             "repetitions": self.repetitions,
             "elapsed_seconds": self.elapsed_seconds,
+            "worker_seconds": self.worker_seconds,
             "preprocessing_seconds": self.preprocessing_seconds,
         }
         flat.update(self.extra)

@@ -1,0 +1,126 @@
+"""Cross-algorithm and cross-backend equivalence property tests.
+
+Two families of invariants protect the semantics against aggressive
+optimization of the execution layer:
+
+* **Exact algorithms agree**: on randomized collections, ``naive``,
+  ``allpairs`` and ``ppjoin`` return the identical pair set (the problem has
+  a unique answer).
+* **Backends agree**: for every randomized algorithm (CPSJOIN, MinHash LSH,
+  BayesLSH) the ``numpy`` backend's verified pairs — and its candidate
+  statistics — equal the ``python`` backend's at seed parity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approximate.bayeslsh import BayesLSHJoin
+from repro.approximate.minhash_lsh import MinHashLSHJoin
+from repro.core.config import CPSJoinConfig
+from repro.core.cpsjoin import cpsjoin
+from repro.exact.allpairs import all_pairs_join
+from repro.exact.naive import naive_join
+from repro.exact.ppjoin import ppjoin
+from repro.join import similarity_join
+
+# Collections of 2-30 records with tokens from a small universe so qualifying
+# pairs actually occur (same shape as tests/property/test_join_properties.py).
+record_strategy = st.lists(
+    st.sets(st.integers(min_value=0, max_value=25), min_size=2, max_size=12).map(
+        lambda s: tuple(sorted(s))
+    ),
+    min_size=2,
+    max_size=30,
+)
+threshold_strategy = st.sampled_from([0.5, 0.6, 0.7, 0.8, 0.9])
+
+
+def random_records(seed: int, num_records: int = 80, universe: int = 120):
+    """A deterministic random collection with planted overlap structure."""
+    rng = np.random.default_rng(seed)
+    records = []
+    for _ in range(num_records):
+        size = int(rng.integers(2, 18))
+        records.append(tuple(sorted(rng.choice(universe, size=size, replace=False).tolist())))
+    # Plant near-duplicates so thresholds above 0.5 have qualifying pairs.
+    for index in range(0, min(10, num_records - 1), 2):
+        base = list(records[index])
+        base[-1] = (base[-1] + 1) % universe
+        records[index + 1] = tuple(sorted(set(base)))
+    return records
+
+
+class TestExactAlgorithmsAgree:
+    @settings(max_examples=30, deadline=None)
+    @given(record_strategy, threshold_strategy)
+    def test_naive_allpairs_ppjoin_identical(self, records, threshold) -> None:
+        expected = naive_join(records, threshold).pairs
+        assert all_pairs_join(records, threshold).pairs == expected
+        assert ppjoin(records, threshold).pairs == expected
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("threshold", [0.5, 0.7, 0.9])
+    def test_agreement_on_planted_collections(self, seed, threshold) -> None:
+        records = random_records(seed)
+        expected = naive_join(records, threshold).pairs
+        assert all_pairs_join(records, threshold).pairs == expected
+        assert ppjoin(records, threshold).pairs == expected
+
+
+def _stats_signature(result):
+    stats = result.stats
+    return (stats.pre_candidates, stats.candidates, stats.verified, stats.results)
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("threshold", [0.5, 0.7, 0.9])
+    def test_cpsjoin_backends_identical(self, seed, threshold) -> None:
+        records = random_records(100 + seed)
+        config = CPSJoinConfig(seed=seed, repetitions=4, limit=10)
+        python_result = cpsjoin(records, threshold, config.with_overrides(backend="python"))
+        numpy_result = cpsjoin(records, threshold, config.with_overrides(backend="numpy"))
+        assert numpy_result.pairs == python_result.pairs
+        assert _stats_signature(numpy_result) == _stats_signature(python_result)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("threshold", [0.5, 0.7])
+    def test_minhash_backends_identical(self, seed, threshold) -> None:
+        records = random_records(200 + seed)
+        python_result = MinHashLSHJoin(threshold, seed=seed, backend="python").join(records)
+        numpy_result = MinHashLSHJoin(threshold, seed=seed, backend="numpy").join(records)
+        assert numpy_result.pairs == python_result.pairs
+        assert _stats_signature(numpy_result) == _stats_signature(python_result)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("threshold", [0.5, 0.7])
+    @pytest.mark.parametrize("candidates", ["lsh", "allpairs"])
+    def test_bayeslsh_backends_identical(self, seed, threshold, candidates) -> None:
+        records = random_records(300 + seed)
+        python_result = BayesLSHJoin(
+            threshold, seed=seed, candidates=candidates, backend="python"
+        ).join(records)
+        numpy_result = BayesLSHJoin(
+            threshold, seed=seed, candidates=candidates, backend="numpy"
+        ).join(records)
+        assert numpy_result.pairs == python_result.pairs
+        assert _stats_signature(numpy_result) == _stats_signature(python_result)
+
+    @settings(max_examples=20, deadline=None)
+    @given(record_strategy, threshold_strategy)
+    def test_cpsjoin_backends_identical_property(self, records, threshold) -> None:
+        config = CPSJoinConfig(seed=7, repetitions=3, limit=5)
+        python_result = cpsjoin(records, threshold, config.with_overrides(backend="python"))
+        numpy_result = cpsjoin(records, threshold, config.with_overrides(backend="numpy"))
+        assert numpy_result.pairs == python_result.pairs
+
+    @pytest.mark.parametrize("algorithm", ["cpsjoin", "minhash", "bayeslsh"])
+    def test_public_api_backend_parameter(self, algorithm) -> None:
+        records = random_records(400)
+        python_result = similarity_join(records, 0.6, algorithm=algorithm, seed=5, backend="python")
+        numpy_result = similarity_join(records, 0.6, algorithm=algorithm, seed=5, backend="numpy")
+        assert numpy_result.pairs == python_result.pairs

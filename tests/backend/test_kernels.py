@@ -1,0 +1,154 @@
+"""Unit tests for the execution-backend kernels.
+
+The numpy backend's vectorized kernels (packed-token verification, block
+all-pairs, grouped pair verification) are checked directly against the
+scalar reference backend on randomized inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import BACKEND_NAMES, NumpyBackend, PythonBackend, make_backend
+from repro.core.preprocess import preprocess_collection
+from repro.similarity.measures import jaccard_similarity
+from repro.similarity.verify import verify_pair_sorted
+
+
+@pytest.fixture(scope="module")
+def collection():
+    rng = np.random.default_rng(7)
+    records = []
+    for _ in range(120):
+        size = int(rng.integers(2, 25))
+        records.append(tuple(sorted(rng.choice(300, size=size, replace=False).tolist())))
+    return preprocess_collection(records, seed=3)
+
+
+class TestRegistry:
+    def test_names(self) -> None:
+        assert set(BACKEND_NAMES) == {"python", "numpy"}
+
+    def test_make_backend_resolves_names(self, collection) -> None:
+        assert isinstance(make_backend("python", collection, 0.5), PythonBackend)
+        assert isinstance(make_backend("numpy", collection, 0.5), NumpyBackend)
+        assert isinstance(make_backend(None, collection, 0.5), PythonBackend)
+
+    def test_make_backend_passes_instances_through(self, collection) -> None:
+        backend = NumpyBackend(collection, 0.5)
+        assert make_backend(backend, collection, 0.5) is backend
+
+    def test_unknown_backend_rejected(self, collection) -> None:
+        with pytest.raises(ValueError):
+            make_backend("fortran", collection, 0.5)
+
+    def test_invalid_threshold_rejected(self, collection) -> None:
+        with pytest.raises(ValueError):
+            NumpyBackend(collection, 0.0)
+
+
+class TestPackedTokens:
+    def test_packing_round_trips(self, collection) -> None:
+        values, offsets = collection.packed_tokens()
+        assert offsets[0] == 0
+        assert offsets[-1] == values.size
+        for index, record in enumerate(collection.records):
+            segment = values[offsets[index] : offsets[index + 1]]
+            assert segment.tolist() == list(record)
+
+    def test_packing_is_cached(self, collection) -> None:
+        assert collection.packed_tokens()[0] is collection.packed_tokens()[0]
+
+    def test_sketch_bigints_match_words(self, collection) -> None:
+        bigints = collection.sketch_bigints()
+        words = collection.sketches.words
+        for index in range(collection.num_records):
+            expected = sum(int(word) << (64 * w) for w, word in enumerate(words[index]))
+            assert bigints[index] == expected
+
+
+class TestVerifyKernels:
+    @pytest.mark.parametrize("threshold", [0.3, 0.5, 0.7, 0.9])
+    def test_verify_one_to_many_matches_reference(self, collection, threshold) -> None:
+        python_backend = PythonBackend(collection, threshold)
+        numpy_backend = NumpyBackend(collection, threshold)
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            record_id = int(rng.integers(0, collection.num_records))
+            count = int(rng.integers(1, 40))
+            others = rng.choice(collection.num_records, size=count, replace=False)
+            others = others[others != record_id]
+            if others.size == 0:
+                continue
+            expected = python_backend.verify_one_to_many(record_id, others)
+            actual = numpy_backend.verify_one_to_many(record_id, others)
+            np.testing.assert_array_equal(actual, expected)
+
+    def test_verify_agrees_with_true_jaccard(self, collection) -> None:
+        backend = NumpyBackend(collection, 0.5)
+        rng = np.random.default_rng(13)
+        for _ in range(50):
+            first, second = rng.choice(collection.num_records, size=2, replace=False)
+            mask = backend.verify_one_to_many(int(first), np.array([int(second)]))
+            truth = jaccard_similarity(collection.records[first], collection.records[second]) >= 0.5
+            assert bool(mask[0]) == truth
+
+    def test_verify_pairs_grouping(self, collection) -> None:
+        backend = NumpyBackend(collection, 0.4)
+        rng = np.random.default_rng(17)
+        firsts = rng.integers(0, collection.num_records, size=200)
+        seconds = (firsts + 1 + rng.integers(0, collection.num_records - 1, size=200)) % collection.num_records
+        mask = backend.verify_pairs(firsts, seconds)
+        for first, second, accepted in zip(firsts, seconds, mask):
+            expected, _ = verify_pair_sorted(
+                collection.records[first], collection.records[second], 0.4
+            )
+            assert bool(accepted) == expected
+
+
+class TestAllPairsKernels:
+    @pytest.mark.parametrize("use_sketches", [True, False])
+    @pytest.mark.parametrize("subset_size", [2, 3, 7, 12, 13, 40, 120])
+    def test_all_pairs_matches_reference(self, collection, use_sketches, subset_size) -> None:
+        # Sizes straddle SMALL_ROW_LIMIT (12) to cover the scalar fast path,
+        # the block kernel, and the boundary between them.
+        threshold = 0.5
+        python_backend = PythonBackend(collection, threshold)
+        numpy_backend = NumpyBackend(collection, threshold)
+        rng = np.random.default_rng(subset_size)
+        subset = rng.choice(collection.num_records, size=subset_size, replace=False).tolist()
+        cutoff = 0.3
+        expected = python_backend.all_pairs(subset, use_sketches, cutoff)
+        actual = numpy_backend.all_pairs(subset, use_sketches, cutoff)
+        assert actual == expected  # (pre_candidates, verified, accepted pairs)
+
+    def test_block_fallback_above_row_limit(self, collection, monkeypatch) -> None:
+        monkeypatch.setattr(NumpyBackend, "BLOCK_ROW_LIMIT", 16)
+        threshold = 0.5
+        python_backend = PythonBackend(collection, threshold)
+        numpy_backend = NumpyBackend(collection, threshold)
+        subset = list(range(30))
+        assert numpy_backend.all_pairs(subset, True, 0.3) == python_backend.all_pairs(subset, True, 0.3)
+
+    def test_trivial_subsets(self, collection) -> None:
+        backend = NumpyBackend(collection, 0.5)
+        assert backend.all_pairs([], True, 0.3) == (0, 0, set())
+        assert backend.all_pairs([4], True, 0.3) == (0, 0, set())
+
+
+class TestAverageSimilarities:
+    def test_shared_estimators_identical_across_backends(self, collection) -> None:
+        subset = list(range(60))
+        python_backend = PythonBackend(collection, 0.5)
+        numpy_backend = NumpyBackend(collection, 0.5)
+        exact_python = python_backend.average_similarity_exact(subset)
+        exact_numpy = numpy_backend.average_similarity_exact(subset)
+        np.testing.assert_array_equal(exact_python, exact_numpy)
+        sampled_python = python_backend.average_similarity_sampled(
+            subset, 16, np.random.default_rng(5)
+        )
+        sampled_numpy = numpy_backend.average_similarity_sampled(
+            subset, 16, np.random.default_rng(5)
+        )
+        np.testing.assert_array_equal(sampled_python, sampled_numpy)

@@ -37,6 +37,43 @@ class TestJoinStats:
         assert flat["algorithm"] == "X"
         assert flat["k"] == 4.0
 
+    def test_merge_accumulates_worker_seconds_from_leaf_runs(self) -> None:
+        # A leaf run (one repetition) reports its time in elapsed_seconds and
+        # has worker_seconds == 0; merging must add it to worker_seconds.
+        total = JoinStats(repetitions=0)
+        total.merge(JoinStats(repetitions=1, elapsed_seconds=1.0))
+        total.merge(JoinStats(repetitions=1, elapsed_seconds=2.0))
+        assert total.worker_seconds == pytest.approx(3.0)
+
+    def test_merge_of_aggregates_does_not_double_count(self) -> None:
+        # An already merged aggregate carries summed worker time; merging two
+        # aggregates must combine worker_seconds without re-adding their
+        # (wall-clock) elapsed_seconds on top.
+        left = JoinStats(repetitions=0)
+        left.merge(JoinStats(repetitions=1, elapsed_seconds=1.0))
+        left.merge(JoinStats(repetitions=1, elapsed_seconds=2.0))
+        left.elapsed_seconds = 1.6  # wall clock of two parallel workers
+
+        right = JoinStats(repetitions=0)
+        right.merge(JoinStats(repetitions=1, elapsed_seconds=4.0))
+        right.elapsed_seconds = 4.1
+
+        combined = JoinStats(repetitions=0)
+        combined.merge(left)
+        combined.merge(right)
+        assert combined.worker_seconds == pytest.approx(7.0)
+        assert combined.repetitions == 3
+
+    def test_merge_max_extra_takes_maximum(self) -> None:
+        first = JoinStats(extra={"max_depth": 3.0, "tree_nodes": 5.0})
+        first.merge(JoinStats(extra={"max_depth": 7.0, "tree_nodes": 2.0}))
+        assert first.extra["max_depth"] == 7.0
+        assert first.extra["tree_nodes"] == 7.0
+
+    def test_as_dict_includes_worker_seconds(self) -> None:
+        stats = JoinStats(worker_seconds=2.5)
+        assert stats.as_dict()["worker_seconds"] == 2.5
+
 
 class TestJoinResult:
     def make(self) -> JoinResult:
