@@ -13,7 +13,6 @@ from typing import Dict
 
 import pytest
 
-from repro.core.config import CPSJoinConfig
 from repro.evaluation.runner import ExperimentRunner
 from benchmarks.conftest import BENCH_SEED
 

@@ -9,7 +9,6 @@ than the 8-word default.
 
 from __future__ import annotations
 
-from typing import Dict
 
 import pytest
 

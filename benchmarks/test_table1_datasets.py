@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datasets.profiles import DATASET_PROFILES, generate_profile_dataset
+from repro.datasets.profiles import generate_profile_dataset
 from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
 
 

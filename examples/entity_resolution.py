@@ -19,7 +19,7 @@ Run with::
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import List, Set, Tuple
 
 from repro import CPSJoinConfig, similarity_join
 from repro.datasets.transform import shingle_strings

@@ -32,7 +32,6 @@ import numpy as np
 
 from repro.datasets.synthetic import make_near_duplicate
 from repro.index import ChosenPathIndex, MinHashLSHIndex
-from repro.similarity.measures import jaccard_similarity
 
 
 def build_stream(stream_size: int, seed: int) -> Tuple[List[Tuple[int, ...]], Set[int]]:

@@ -18,7 +18,6 @@ Run with::
 from __future__ import annotations
 
 import argparse
-import time
 
 from repro.core.config import CPSJoinConfig
 from repro.datasets.profiles import generate_profile_dataset

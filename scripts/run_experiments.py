@@ -23,6 +23,7 @@ from repro.experiments import (
     backend_bench,
     figure2,
     figure3,
+    rs_bench,
     table1,
     table2,
     table4,
@@ -85,6 +86,10 @@ def main() -> None:
     section(
         "Backend micro-benchmark — python vs numpy execution backend",
         format_table(backend_bench.run(scale=args.scale, seed=args.seed)),
+    )
+    section(
+        "R ⋈ S benchmark — native side-aware path vs union self-join fallback",
+        format_table(rs_bench.run(scale=args.scale, seed=args.seed)),
     )
     section("Total wall-clock time", f"{time.time() - start:.1f} seconds at scale {args.scale}")
 

@@ -18,13 +18,13 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.bruteforce import BruteForcer
 from repro.core.preprocess import PreprocessedCollection, preprocess_collection
-from repro.result import JoinResult, JoinStats, Timer, canonical_pair
+from repro.result import JoinResult, JoinStats, Timer
 
 __all__ = ["MinHashLSHJoin", "minhash_lsh_join"]
 
@@ -82,9 +82,18 @@ class MinHashLSHJoin:
         self.backend = backend
 
     # ------------------------------------------------------------------ public API
-    def join(self, records: Sequence[Sequence[int]]) -> JoinResult:
-        """Preprocess ``records`` and run the join."""
-        collection = preprocess_collection(records, seed=self.seed)
+    def join(
+        self,
+        records: Sequence[Sequence[int]],
+        sides: Optional[Sequence[int]] = None,
+    ) -> JoinResult:
+        """Preprocess ``records`` and run the join.
+
+        ``sides`` (0 = R, 1 = S, one entry per record) makes the bucket
+        brute-forcing side-aware: same-side pairs inside a bucket are skipped
+        before any counting, turning the run into a native R ⋈ S join.
+        """
+        collection = preprocess_collection(records, seed=self.seed, sides=sides)
         return self.join_preprocessed(collection)
 
     def join_preprocessed(self, collection: PreprocessedCollection) -> JoinResult:

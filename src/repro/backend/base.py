@@ -55,6 +55,11 @@ class ExecutionBackend(ABC):
         self.collection = collection
         self.threshold = threshold
         self.sizes = collection.record_sizes()
+        # Side labels for R ⋈ S joins (None for a self-join).  When present,
+        # same-side pairs are dropped before any counting or filtering, so
+        # pre_candidates / candidates / verified only ever count cross-side
+        # work and same-side candidates never reach verification.
+        self.sides = collection.sides
 
     # ------------------------------------------------------------------ filtering
     def sketch_estimate_one_to_many(self, record_id: int, others: np.ndarray) -> np.ndarray:
@@ -97,9 +102,12 @@ class ExecutionBackend(ABC):
 
         Returns ``(pre_candidates, verified, accepted_ids)`` where
         ``pre_candidates`` counts every considered pair and ``verified`` the
-        pairs surviving the filters (and therefore exactly verified).
+        pairs surviving the filters (and therefore exactly verified).  In a
+        side-aware collection, same-side pairs are not considered at all.
         """
         others = np.asarray(others, dtype=np.intp)
+        if self.sides is not None and others.size:
+            others = others[self.sides[others] != self.sides[record_id]]
         pre_candidates = int(others.size)
         if pre_candidates == 0:
             return 0, 0, []

@@ -177,7 +177,16 @@ class NumpyBackend(ExecutionBackend):
 
         ids = np.asarray(subset, dtype=np.intp)
         first_pos, second_pos = _triu_indices(num_records)
+        if self.sides is not None:
+            # Side mask first: in an R ⋈ S join same-side pairs are not part
+            # of the workload, so they are dropped before the size probe and
+            # the sketch filter and never counted as pre-candidates.
+            subset_sides = self.sides[ids]
+            cross = subset_sides[first_pos] != subset_sides[second_pos]
+            first_pos, second_pos = first_pos[cross], second_pos[cross]
         pre_candidates = int(first_pos.size)
+        if pre_candidates == 0:
+            return 0, 0, set()
 
         sizes = self.sizes[ids]
         passing = (sizes[second_pos] >= self.threshold * sizes[first_pos]) & (
@@ -227,7 +236,14 @@ class NumpyBackend(ExecutionBackend):
         bound for verification.
         """
         num_records = len(subset)
-        pre_candidates = num_records * (num_records - 1) // 2
+        sides = self.sides
+        if sides is None:
+            pre_candidates = num_records * (num_records - 1) // 2
+        else:
+            # Only cross-side pairs count: with n₀ R-records and n₁ S-records
+            # in the subset, the workload is n₀ · n₁ pairs.
+            num_right = int(np.count_nonzero(sides[np.asarray(subset, dtype=np.intp)]))
+            pre_candidates = num_right * (num_records - num_right)
         verified = 0
         accepted: Set[Pair] = set()
         sizes = self._size_list
@@ -240,6 +256,8 @@ class NumpyBackend(ExecutionBackend):
             size_first = sizes[record_id]
             for other_position in range(position + 1, num_records):
                 other_id = subset[other_position]
+                if sides is not None and sides[record_id] == sides[other_id]:
+                    continue
                 size_second = sizes[other_id]
                 if size_second < threshold * size_first or size_first < threshold * size_second:
                     continue

@@ -5,7 +5,9 @@ Python:
 
 * ``repro-join join`` — run a similarity self-join over a token-set file
   (one record per line, whitespace-separated integer tokens) and print or
-  save the resulting pairs.
+  save the resulting pairs.  With ``--right`` a second dataset file turns the
+  run into an R ⋈ S join (native side-aware path for the randomized
+  algorithms): the reported pairs are (left index, right index).
 * ``repro-join generate`` — generate one of the surrogate datasets (or a
   synthetic TOKENS / UNIFORM / ZIPF collection) and write it in the same
   format.
@@ -13,7 +15,7 @@ Python:
 * ``repro-join experiment`` — run one of the paper's experiments by name
   (``table1``, ``table2``, ``figure2``, ``figure3``, ``table4``,
   ``tokens``, ``ablation-stopping``, ``ablation-sketches``,
-  ``backend-bench``).
+  ``backend-bench``, ``rs-bench``).
 
 Examples::
 
@@ -28,13 +30,13 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.config import CPSJoinConfig
 from repro.datasets.io import read_dataset, write_dataset
 from repro.datasets.profiles import generate_profile_dataset
 from repro.evaluation.reports import rows_to_csv
-from repro.join import ALGORITHMS, similarity_join
+from repro.join import ALGORITHMS, similarity_join, similarity_join_rs
 
 __all__ = ["main", "build_parser"]
 
@@ -46,6 +48,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     join_parser = subparsers.add_parser("join", help="run a similarity self-join over a token-set file")
     join_parser.add_argument("input", type=str, help="dataset file (one record per line of integer tokens)")
+    join_parser.add_argument(
+        "--right",
+        type=str,
+        default=None,
+        help="second dataset file: compute the R ⋈ S join of INPUT (R) and this file (S) "
+        "instead of a self-join; pairs are (left index, right index)",
+    )
     join_parser.add_argument("--threshold", type=float, default=0.5, help="Jaccard threshold (default 0.5)")
     join_parser.add_argument("--algorithm", choices=ALGORITHMS, default="cpsjoin")
     join_parser.add_argument("--seed", type=int, default=None, help="random seed for the randomized algorithms")
@@ -86,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
             "ablation-stopping",
             "ablation-sketches",
             "backend-bench",
+            "rs-bench",
         ],
     )
     experiment_parser.add_argument("--scale", type=float, default=0.3)
@@ -95,23 +105,34 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _command_join(args: argparse.Namespace) -> int:
     dataset = read_dataset(args.input)
+    # seed/backend/workers are threaded as similarity_join kwargs (one code
+    # path for every algorithm, explicit kwargs win over config fields); a
+    # config is only needed to carry the cpsjoin repetition override.
     config = None
-    if args.algorithm == "cpsjoin":
-        overrides = {}
-        if args.repetitions is not None:
-            overrides["repetitions"] = args.repetitions
-        config = CPSJoinConfig(seed=args.seed, **overrides)
-    # backend/workers are threaded as similarity_join kwargs (one code path
-    # for every algorithm); for cpsjoin they override the config built above.
-    result = similarity_join(
-        dataset.records,
-        args.threshold,
-        algorithm=args.algorithm,
-        config=config,
-        seed=args.seed,
-        backend=args.backend,
-        workers=args.workers,
-    )
+    if args.algorithm == "cpsjoin" and args.repetitions is not None:
+        config = CPSJoinConfig(repetitions=args.repetitions)
+    if args.right is not None:
+        right_dataset = read_dataset(args.right)
+        result = similarity_join_rs(
+            dataset.records,
+            right_dataset.records,
+            args.threshold,
+            algorithm=args.algorithm,
+            config=config,
+            seed=args.seed,
+            backend=args.backend,
+            workers=args.workers,
+        )
+    else:
+        result = similarity_join(
+            dataset.records,
+            args.threshold,
+            algorithm=args.algorithm,
+            config=config,
+            seed=args.seed,
+            backend=args.backend,
+            workers=args.workers,
+        )
 
     rows = [{"first": first, "second": second} for first, second in sorted(result.pairs)]
     csv_text = rows_to_csv(rows, columns=["first", "second"])
@@ -160,6 +181,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         backend_bench,
         figure2,
         figure3,
+        rs_bench,
         table1,
         table2,
         table4,
@@ -188,6 +210,8 @@ def _command_experiment(args: argparse.Namespace) -> int:
         print(format_table(ablation_sketches.run(scale=args.scale, seed=args.seed)))
     elif name == "backend-bench":
         print(format_table(backend_bench.run(scale=args.scale, seed=args.seed)))
+    elif name == "rs-bench":
+        print(format_table(rs_bench.run(scale=args.scale, seed=args.seed)))
     return 0
 
 

@@ -24,6 +24,15 @@ at a time (the reference semantics), the ``"numpy"`` backend verifies whole
 candidate blocks with vectorized kernels.  The two are exactly equivalent;
 ``BruteForcer`` only owns the policy (which subsets to compare) and the
 statistics bookkeeping.
+
+When the preprocessed collection carries per-record side labels (an R ⋈ S
+join, see :func:`repro.core.preprocess.preprocess_collection`), the backends
+make ``pairs`` and ``point`` side-aware: same-side pairs are skipped before
+any counting, so the statistics only reflect cross-side work.  The
+:meth:`BruteForcer.average_similarities` estimate intentionally stays
+side-blind — it only steers *when* the recursion brute-forces, so keeping it
+identical to the self-join makes the R ⋈ S recursion (and its randomness
+consumption) match a union self-join at the same seed exactly.
 """
 
 from __future__ import annotations

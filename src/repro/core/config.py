@@ -7,7 +7,7 @@ strategy, sketch usage, exact vs sketch-sampled average-similarity estimate).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 __all__ = ["CPSJoinConfig"]

@@ -59,13 +59,24 @@ class CPSJoin:
         self.config = config if config is not None else CPSJoinConfig()
 
     # ------------------------------------------------------------------ public API
-    def join(self, records: Sequence[Sequence[int]]) -> JoinResult:
-        """Preprocess ``records`` and run the configured number of repetitions."""
+    def join(
+        self,
+        records: Sequence[Sequence[int]],
+        sides: Optional[Sequence[int]] = None,
+    ) -> JoinResult:
+        """Preprocess ``records`` and run the configured number of repetitions.
+
+        ``sides`` (0 = R, 1 = S, one entry per record) turns the run into a
+        native R ⋈ S join: the recursion is unchanged, but the brute-force
+        kernels skip same-side comparisons entirely, so only cross-side pairs
+        are counted, verified, and reported.
+        """
         collection = preprocess_collection(
             records,
             embedding_size=self.config.embedding_size,
             sketch_words=self.config.sketch_words,
             seed=self.config.seed,
+            sides=sides,
         )
         return self.join_preprocessed(collection)
 

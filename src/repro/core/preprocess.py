@@ -40,12 +40,19 @@ class PreprocessedCollection:
         Packed 1-bit minwise sketches of shape ``(n, ℓ)``.
     preprocessing_seconds:
         Wall-clock time spent building the signatures and sketches.
+    sides:
+        Optional per-record side labels for R ⋈ S joins: an ``int8`` array of
+        0 (record belongs to R) and 1 (record belongs to S).  When present,
+        the execution backends skip every same-side comparison, so only
+        cross-side pairs are counted, filtered, and verified.  ``None`` (the
+        default) means a plain self-join.
     """
 
     records: List[Record]
     signatures: MinHashSignatures
     sketches: OneBitMinHashSketches
     preprocessing_seconds: float
+    sides: Optional[np.ndarray] = None
     _packed_tokens: Optional[Tuple[np.ndarray, np.ndarray]] = field(
         default=None, repr=False, compare=False
     )
@@ -107,6 +114,7 @@ def preprocess_collection(
     embedding_size: int = 128,
     sketch_words: int = 8,
     seed: Optional[int] = None,
+    sides: Optional[Sequence[int]] = None,
 ) -> PreprocessedCollection:
     """Build MinHash signatures and 1-bit minwise sketches for a collection.
 
@@ -121,11 +129,25 @@ def preprocess_collection(
     seed:
         Seed for all hash functions (signatures and sketches derive
         independent streams from it).
+    sides:
+        Optional per-record side labels (0 = R, 1 = S) for R ⋈ S joins; must
+        have one entry per record.  ``None`` means a plain self-join.
     """
     normalized: List[Record] = [tuple(sorted(set(int(token) for token in record))) for record in records]
     for index, record in enumerate(normalized):
         if not record:
             raise ValueError(f"record {index} is empty; empty records cannot be joined")
+
+    side_array: Optional[np.ndarray] = None
+    if sides is not None:
+        side_array = np.asarray(list(sides), dtype=np.int8)
+        if side_array.ndim != 1 or side_array.shape[0] != len(normalized):
+            raise ValueError(
+                f"sides must have one entry per record: got {side_array.shape[0]} sides "
+                f"for {len(normalized)} records"
+            )
+        if side_array.size and not np.isin(side_array, (0, 1)).all():
+            raise ValueError("sides entries must be 0 (record in R) or 1 (record in S)")
 
     with Timer() as timer:
         minhasher = MinHasher(num_functions=embedding_size, seed=seed)
@@ -137,4 +159,5 @@ def preprocess_collection(
         signatures=signatures,
         sketches=sketches,
         preprocessing_seconds=timer.elapsed,
+        sides=side_array,
     )

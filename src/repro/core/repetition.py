@@ -70,7 +70,10 @@ class RepetitionEngine:
     collection:
         A preprocessed collection (shared read-only across repetitions, as in
         the paper where preprocessing is done once and excluded from join
-        time).
+        time).  A side-aware collection (R ⋈ S join, see
+        :func:`repro.core.preprocess.preprocess_collection`) works unchanged:
+        the side labels travel with the collection into every repetition, and
+        the deterministic merge is oblivious to them.
     workers:
         Number of parallel workers.  ``1`` runs sequentially; larger values
         dispatch repetitions to a thread pool.  The merged result is

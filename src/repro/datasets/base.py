@@ -15,8 +15,8 @@ generators and the experiment discussion.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = ["Record", "Dataset", "DatasetStatistics"]
 

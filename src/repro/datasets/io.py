@@ -21,16 +21,34 @@ PathLike = Union[str, os.PathLike]
 def read_dataset(path: PathLike, name: str = "") -> Dataset:
     """Read a dataset from a one-record-per-line token file.
 
-    Blank lines and lines starting with ``#`` are ignored.
+    Blank lines and lines starting with ``#`` are ignored.  Every token must
+    be a non-negative integer — the packed-token and sketch hot paths assume
+    non-negative ints, so malformed or negative tokens raise ``ValueError``
+    naming the offending line instead of corrupting a join later.
     """
     path = Path(path)
     records: List[List[int]] = []
     with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
+        for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped or stripped.startswith("#"):
                 continue
-            records.append([int(token) for token in stripped.split()])
+            tokens: List[int] = []
+            for text in stripped.split():
+                try:
+                    token = int(text)
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{line_number}: invalid token {text!r}; "
+                        "tokens must be non-negative integers"
+                    ) from None
+                if token < 0:
+                    raise ValueError(
+                        f"{path}:{line_number}: negative token {token}; "
+                        "tokens must be non-negative integers"
+                    )
+                tokens.append(token)
+            records.append(tokens)
     return Dataset(records, name=name or path.stem)
 
 

@@ -30,7 +30,7 @@ pairs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.datasets.base import Dataset
 from repro.datasets.synthetic import generate_skewed_dataset, generate_tokens_dataset

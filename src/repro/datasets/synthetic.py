@@ -21,7 +21,6 @@ non-trivial result sets.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -8,7 +8,7 @@ workloads over text records.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.datasets.base import Dataset, Record
 

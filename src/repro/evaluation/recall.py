@@ -11,7 +11,7 @@ sample of ground-truth pairs only — the estimator the paper alludes to.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Tuple
 
 from repro.evaluation.metrics import normalize_pairs, recall as exact_recall
 

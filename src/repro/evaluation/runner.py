@@ -17,8 +17,8 @@ experiment modules format into the paper's tables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
 
 from repro.approximate.bayeslsh import BayesLSHJoin
 from repro.approximate.minhash_lsh import MinHashLSHJoin
@@ -28,7 +28,6 @@ from repro.core.preprocess import PreprocessedCollection, preprocess_collection
 from repro.datasets.base import Dataset
 from repro.evaluation.ground_truth import GroundTruthCache
 from repro.evaluation.metrics import precision as precision_metric, recall as recall_metric
-from repro.exact.allpairs import AllPairsJoin
 from repro.exact.ppjoin import PPJoin
 from repro.result import JoinResult, JoinStats
 

@@ -23,7 +23,7 @@ verification.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Sequence, Set, Tuple
 
 from repro.exact.inverted_index import InvertedIndex
 from repro.exact.prefix_filter import (

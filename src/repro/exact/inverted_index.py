@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import DefaultDict, Dict, Iterator, List, Sequence, Tuple
+from typing import DefaultDict, Dict, Iterator, List
 
 __all__ = ["InvertedIndex", "Posting"]
 

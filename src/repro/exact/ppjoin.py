@@ -14,7 +14,7 @@ ALLPAIRS implementation — both must produce exactly the same result sets.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, Sequence, Set, Tuple
 
 from repro.exact.inverted_index import InvertedIndex
 from repro.exact.prefix_filter import (

@@ -21,6 +21,7 @@ TOKENS scaling discussion       :mod:`repro.experiments.tokens_scaling`
 Stopping-strategy argument      :mod:`repro.experiments.ablation_stopping`
 Sketching design choice         :mod:`repro.experiments.ablation_sketches`
 Backend micro-benchmark         :mod:`repro.experiments.backend_bench`
+R ⋈ S extension (Section IV)    :mod:`repro.experiments.rs_bench`
 ==============================  =======================================
 """
 
@@ -34,4 +35,5 @@ __all__ = [
     "ablation_stopping",
     "ablation_sketches",
     "backend_bench",
+    "rs_bench",
 ]

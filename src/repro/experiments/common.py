@@ -10,7 +10,7 @@ runtime, with ``QUICK_SCALE`` used by the benchmark suite and tests and
 from __future__ import annotations
 
 import argparse
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.datasets.base import Dataset
 from repro.datasets.profiles import DATASET_PROFILES, generate_profile_dataset

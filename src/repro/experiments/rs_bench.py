@@ -1,0 +1,151 @@
+"""R ⋈ S benchmark: native side-aware path vs the union-self-join fallback.
+
+The paper notes (Section IV) that CPSJOIN extends to R ⋈ S joins by
+self-joining the union ``R ∪ S`` and discarding same-side pairs.  The native
+side-aware path of :func:`repro.join.similarity_join_rs` instead drops
+same-side pairs inside the execution backends — before the size probe, the
+sketch filter, and exact verification — so same-side candidates are never
+verified (or even counted).
+
+This benchmark quantifies the difference on a synthetic R ⋈ S workload: a
+10,000-record UNIFORM005 surrogate (at ``scale=1.0``) split into two halves
+with a block of duplicated records planted on both sides, so qualifying pairs
+exist both across and within the sides.  For each execution backend it runs
+the native path and the fallback at the same seed and reports candidate
+counts, wall-clock times, and the reductions.
+
+Three invariants are asserted on every run, mirroring the guarantees the
+test suite checks:
+
+* the native path verifies **strictly fewer** candidates than the fallback
+  (and zero same-side pairs — structurally guaranteed by the side mask);
+* the native and fallback paths report **identical cross-pair sets** at the
+  same seed (the side labels change which comparisons are executed, not the
+  recursion or its randomness);
+* the two execution backends return **bit-identical** pair sets.
+
+Run as a module (``python -m repro.experiments.rs_bench``), through the CLI
+(``repro-join experiment rs-bench``), or via ``scripts/run_experiments.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.config import CPSJoinConfig
+from repro.datasets.profiles import generate_profile_dataset
+from repro.join import similarity_join_rs
+from repro.experiments.common import format_table, make_parser
+
+__all__ = ["run", "main", "make_rs_workload"]
+
+
+def make_rs_workload(
+    scale: float = 1.0,
+    seed: int = 42,
+    profile: str = "UNIFORM005",
+    planted_fraction: float = 0.05,
+) -> Tuple[List[Tuple[int, ...]], List[Tuple[int, ...]]]:
+    """Build the benchmark's two collections from one surrogate dataset.
+
+    The dataset is split into halves R and S; the first ``planted_fraction``
+    of R is appended to S so a block of exact duplicates spans the two sides
+    (guaranteeing cross-side results at any threshold).
+    """
+    # UNIFORM005 yields ~2.5k records at scale 1.0; scale it up 4x so the
+    # default benchmark workload is ~10k records in total.
+    dataset = generate_profile_dataset(profile, scale=4.0 * scale, seed=seed)
+    records = dataset.records
+    split = len(records) // 2
+    left = list(records[:split])
+    right = list(records[split:])
+    planted = max(1, int(len(left) * planted_fraction))
+    right += left[:planted]
+    return left, right
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 42,
+    thresholds: Sequence[float] = (0.5,),
+    repetitions: int = 3,
+    trials: int = 3,
+    workers: int = 1,
+) -> List[Dict[str, object]]:
+    """Benchmark the native R ⋈ S path against the union-self-join fallback.
+
+    ``scale`` multiplies the workload size (``1.0`` ≈ 10k records in total);
+    each timing takes the minimum over ``trials`` interleaved runs.
+    """
+    left, right = make_rs_workload(scale=scale, seed=seed)
+    config = CPSJoinConfig(seed=seed, repetitions=repetitions)
+    rows: List[Dict[str, object]] = []
+    for threshold in thresholds:
+        pair_sets: Dict[str, frozenset] = {}
+        for backend in ("python", "numpy"):
+            timings = {True: float("inf"), False: float("inf")}
+            results = {}
+            for _ in range(trials):
+                for native in (True, False):
+                    started = time.perf_counter()
+                    result = similarity_join_rs(
+                        left,
+                        right,
+                        threshold,
+                        algorithm="cpsjoin",
+                        config=config,
+                        backend=backend,
+                        workers=workers,
+                        native=native,
+                    )
+                    timings[native] = min(timings[native], time.perf_counter() - started)
+                    results[native] = result
+            native_result, fallback_result = results[True], results[False]
+            if native_result.pairs != fallback_result.pairs:
+                raise AssertionError(
+                    f"native/fallback divergence at threshold {threshold} ({backend}): "
+                    f"{len(native_result.pairs)} vs {len(fallback_result.pairs)} pairs"
+                )
+            if not native_result.stats.verified < fallback_result.stats.verified:
+                raise AssertionError(
+                    f"native path did not reduce verification at threshold {threshold} "
+                    f"({backend}): {native_result.stats.verified} vs "
+                    f"{fallback_result.stats.verified} verified candidates"
+                )
+            if native_result.stats.extra.get("same_side_verified", -1.0) != 0.0:
+                raise AssertionError("native path reported same-side verified pairs")
+            pair_sets[backend] = frozenset(native_result.pairs)
+            rows.append(
+                {
+                    "records": len(left) + len(right),
+                    "threshold": threshold,
+                    "backend": backend,
+                    "native_verified": native_result.stats.verified,
+                    "fallback_verified": fallback_result.stats.verified,
+                    "verified_reduction": round(
+                        fallback_result.stats.verified / max(native_result.stats.verified, 1), 2
+                    ),
+                    "native_seconds": round(timings[True], 3),
+                    "fallback_seconds": round(timings[False], 3),
+                    "speedup": round(timings[False] / max(timings[True], 1e-12), 2),
+                    "pairs": len(native_result.pairs),
+                }
+            )
+        # The two backends ran the same native join; assert bit-identical output.
+        if pair_sets["python"] != pair_sets["numpy"]:
+            raise AssertionError(
+                f"backend divergence at threshold {threshold}: "
+                f"{len(pair_sets['python'])} vs {len(pair_sets['numpy'])} pairs"
+            )
+    return rows
+
+
+def main() -> None:
+    parser = make_parser("R ⋈ S benchmark (native side-aware path vs union self-join fallback)")
+    args = parser.parse_args()
+    print(format_table(run(scale=args.scale, seed=args.seed)))
+
+
+if __name__ == "__main__":
+    main()

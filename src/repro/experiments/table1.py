@@ -8,7 +8,7 @@ actually joins.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.datasets.profiles import DATASET_PROFILES
 from repro.experiments.common import ALL_DATASET_NAMES, format_table, load_datasets, make_parser

@@ -14,7 +14,7 @@ token arrays at once, which is what the MinHash layer uses.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

@@ -24,7 +24,6 @@ index-once / query-many workloads.
 
 from __future__ import annotations
 
-import math
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 

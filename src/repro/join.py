@@ -6,32 +6,83 @@ Two entry points cover the common use cases:
   records whose Jaccard similarity meets the threshold, with a choice of
   algorithm (``"cpsjoin"``, ``"minhash"``, ``"bayeslsh"``, ``"allpairs"``,
   ``"ppjoin"``, ``"naive"``).
-* :func:`similarity_join_rs` — R ⋈ S join of two collections, implemented as
-  the paper suggests (Section IV): run the self-join machinery on the union
+* :func:`similarity_join_rs` — R ⋈ S join of two collections.  The randomized
+  algorithms (``cpsjoin``, ``minhash``, ``bayeslsh``) run a **native
+  side-aware path**: the records of both collections are preprocessed
+  together with per-record side labels and the execution backends skip every
+  same-side comparison, so only cross-side pairs are counted, filtered, and
+  verified.  The exact algorithms (and ``native=False``) use the union
+  self-join fallback the paper suggests in Section IV: self-join ``R ∪ S``
   and keep only pairs spanning the two sides.
 
 Both return :class:`repro.result.JoinResult`; the approximate algorithms
 achieve 100 % precision by construction (every reported pair is verified
 exactly) and recall ≥ 90 % with the default parameters.
+
+Input validation is uniform across all algorithms: empty records raise
+``ValueError`` (they cannot meet any positive similarity threshold, and the
+hashing substrate of the randomized algorithms cannot embed them).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.approximate.bayeslsh import BayesLSHJoin
 from repro.approximate.minhash_lsh import MinHashLSHJoin
 from repro.core.config import CPSJoinConfig
 from repro.core.cpsjoin import CPSJoin
+from repro.datasets.base import Record
 from repro.exact.allpairs import AllPairsJoin
 from repro.exact.naive import naive_join
 from repro.exact.ppjoin import PPJoin
 from repro.result import JoinResult, JoinStats, canonical_pair
 
-__all__ = ["similarity_join", "similarity_join_rs", "ALGORITHMS"]
+__all__ = ["similarity_join", "similarity_join_rs", "ALGORITHMS", "NATIVE_RS_ALGORITHMS"]
 
 ALGORITHMS = ("cpsjoin", "minhash", "bayeslsh", "allpairs", "ppjoin", "naive")
 """Names accepted by the ``algorithm`` argument of :func:`similarity_join`."""
+
+NATIVE_RS_ALGORITHMS = ("cpsjoin", "minhash", "bayeslsh")
+"""Algorithms with a native side-aware R ⋈ S path in :func:`similarity_join_rs`."""
+
+
+def _normalize_records(records: Sequence[Sequence[int]], label: str = "record") -> List[Record]:
+    """Normalize records to sorted distinct-token tuples, rejecting empty ones.
+
+    Every algorithm goes through this check, so ``cpsjoin`` and the exact
+    baselines raise the same error for the same bad input.
+    """
+    normalized = [tuple(sorted(set(int(token) for token in record))) for record in records]
+    for index, record in enumerate(normalized):
+        if not record:
+            raise ValueError(f"{label} {index} is empty; empty records cannot be joined")
+    return normalized
+
+
+def _effective_cpsjoin_config(
+    config: Optional[CPSJoinConfig],
+    seed: Optional[int],
+    backend: Optional[str],
+    workers: Optional[int],
+) -> CPSJoinConfig:
+    """Resolve the CPSJOIN configuration from the public API arguments.
+
+    Explicit keyword arguments always win over the corresponding ``config``
+    fields: a caller passing both ``config`` and ``seed=`` gets the explicit
+    seed regardless of whether ``config.seed`` was already set.
+    """
+    effective = config if config is not None else CPSJoinConfig()
+    overrides = {}
+    if seed is not None:
+        overrides["seed"] = seed
+    if backend is not None:
+        overrides["backend"] = backend
+    if workers is not None:
+        overrides["workers"] = workers
+    if overrides:
+        effective = effective.with_overrides(**overrides)
+    return effective
 
 
 def similarity_join(
@@ -48,7 +99,8 @@ def similarity_join(
     Parameters
     ----------
     records:
-        Collection of token sets (any iterables of non-negative ints).
+        Collection of token sets (any iterables of non-negative ints); every
+        record must be non-empty.
     threshold:
         Jaccard similarity threshold ``λ``; pairs with ``J(x, y) ≥ λ`` are
         reported.
@@ -60,7 +112,7 @@ def similarity_join(
         CPSJOIN configuration (only used by ``algorithm="cpsjoin"``).
     seed:
         Randomness seed for the randomized algorithms; ignored by the exact
-        ones.
+        ones.  An explicit seed takes precedence over ``config.seed``.
     backend:
         Execution backend for the verification hot paths (``"python"`` /
         ``"numpy"``); used by ``cpsjoin``, ``minhash`` and ``bayeslsh`` and
@@ -75,24 +127,36 @@ def similarity_join(
         Reported pairs as ``(i, j)`` record-index tuples with ``i < j``, plus
         run statistics.
     """
-    normalized = [tuple(sorted(set(int(token) for token in record))) for record in records]
+    normalized = _normalize_records(records)
+    return _dispatch_join(
+        normalized, threshold, algorithm, config, seed, backend, workers, sides=None
+    )
+
+
+def _dispatch_join(
+    normalized: List[Record],
+    threshold: float,
+    algorithm: str,
+    config: Optional[CPSJoinConfig],
+    seed: Optional[int],
+    backend: Optional[str],
+    workers: Optional[int],
+    sides: Optional[Sequence[int]],
+) -> JoinResult:
+    """Run one algorithm on already normalized records (optionally side-aware)."""
     name = algorithm.lower()
     if name == "cpsjoin":
-        effective = config if config is not None else CPSJoinConfig(seed=seed)
-        if seed is not None and config is not None and config.seed is None:
-            effective = config.with_seed(seed)
-        overrides = {}
-        if backend is not None:
-            overrides["backend"] = backend
-        if workers is not None:
-            overrides["workers"] = workers
-        if overrides:
-            effective = effective.with_overrides(**overrides)
-        return CPSJoin(threshold, effective).join(normalized)
+        effective = _effective_cpsjoin_config(config, seed, backend, workers)
+        return CPSJoin(threshold, effective).join(normalized, sides=sides)
     if name == "minhash":
-        return MinHashLSHJoin(threshold, seed=seed, backend=backend).join(normalized)
+        return MinHashLSHJoin(threshold, seed=seed, backend=backend).join(normalized, sides=sides)
     if name == "bayeslsh":
-        return BayesLSHJoin(threshold, seed=seed, backend=backend).join(normalized)
+        return BayesLSHJoin(threshold, seed=seed, backend=backend).join(normalized, sides=sides)
+    if sides is not None:
+        raise ValueError(
+            f"algorithm {algorithm!r} has no native side-aware path; "
+            f"expected one of {NATIVE_RS_ALGORITHMS}"
+        )
     if name == "allpairs":
         return AllPairsJoin(threshold).join(normalized)
     if name == "ppjoin":
@@ -111,43 +175,77 @@ def similarity_join_rs(
     seed: Optional[int] = None,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    native: bool = True,
 ) -> JoinResult:
     """Compute the R ⋈ S similarity join of two collections.
 
-    Following Section IV of the paper, the join is computed as a self-join on
-    the union ``R ∪ S``, keeping only pairs with one record from each side.
     The returned pairs are ``(left_index, right_index)`` tuples indexing into
     the two input collections.
-    """
-    union = list(left_records) + list(right_records)
-    self_result = similarity_join(
-        union,
-        threshold,
-        algorithm=algorithm,
-        config=config,
-        seed=seed,
-        backend=backend,
-        workers=workers,
-    )
-    split = len(left_records)
 
-    cross_pairs: Set[Tuple[int, int]] = set()
-    for first, second in self_result.pairs:
-        low, high = canonical_pair(first, second)
-        if low < split <= high:
-            cross_pairs.add((low, high - split))
+    With ``native=True`` (the default) and a randomized algorithm
+    (:data:`NATIVE_RS_ALGORITHMS`), the join runs the **native side-aware
+    path**: both collections are preprocessed together with per-record side
+    labels, and the execution backends drop same-side pairs before any
+    counting, filtering, or verification.  The reported
+    ``pre_candidates`` / ``candidates`` / ``verified`` statistics therefore
+    count *only cross-side work* — zero same-side pairs are ever verified
+    (``stats.extra["same_side_verified"]`` is always 0 on this path, and
+    ``stats.extra["rs_native"]`` is 1).
+
+    With ``native=False``, or for the exact algorithms (which have no
+    randomized candidate-generation stage to make side-aware), the join falls
+    back to the construction the paper suggests in Section IV: a full
+    self-join of the union ``R ∪ S`` whose same-side pairs are discarded
+    afterwards.  On the fallback path the statistics describe the union
+    self-join, so they include same-side work (``stats.extra["rs_native"]``
+    is 0).
+
+    At a fixed seed the two paths report exactly the same cross pairs for the
+    randomized algorithms — the side labels change which comparisons are
+    *executed*, not the recursion or its randomness — so the native path is a
+    strict reduction in verification work.
+    """
+    normalized_left = _normalize_records(left_records, label="left record")
+    normalized_right = _normalize_records(right_records, label="right record")
+    union = normalized_left + normalized_right
+    split = len(normalized_left)
+
+    name = algorithm.lower()
+    if native and name in NATIVE_RS_ALGORITHMS:
+        sides = [0] * split + [1] * len(normalized_right)
+        union_result = _dispatch_join(
+            union, threshold, algorithm, config, seed, backend, workers, sides=sides
+        )
+        # Every reported pair is cross-side by construction: (i, j) with
+        # i < split <= j in union indexing maps to (i, j - split).
+        cross_pairs = {(first, second - split) for first, second in union_result.pairs}
+        extra = dict(union_result.stats.extra)
+        extra["rs_native"] = 1.0
+        extra["same_side_verified"] = 0.0
+    else:
+        union_result = _dispatch_join(
+            union, threshold, algorithm, config, seed, backend, workers, sides=None
+        )
+        cross_pairs: Set[Tuple[int, int]] = set()
+        for first, second in union_result.pairs:
+            low, high = canonical_pair(first, second)
+            if low < split <= high:
+                cross_pairs.add((low, high - split))
+        extra = dict(union_result.stats.extra)
+        extra["rs_native"] = 0.0
 
     stats = JoinStats(
-        algorithm=self_result.stats.algorithm,
+        algorithm=union_result.stats.algorithm,
         threshold=threshold,
         num_records=len(union),
-        pre_candidates=self_result.stats.pre_candidates,
-        candidates=self_result.stats.candidates,
-        verified=self_result.stats.verified,
+        pre_candidates=union_result.stats.pre_candidates,
+        candidates=union_result.stats.candidates,
+        verified=union_result.stats.verified,
         results=len(cross_pairs),
-        repetitions=self_result.stats.repetitions,
-        elapsed_seconds=self_result.stats.elapsed_seconds,
-        preprocessing_seconds=self_result.stats.preprocessing_seconds,
-        extra=dict(self_result.stats.extra),
+        repetitions=union_result.stats.repetitions,
+        elapsed_seconds=union_result.stats.elapsed_seconds,
+        worker_seconds=union_result.stats.worker_seconds,
+        preprocessing_seconds=union_result.stats.preprocessing_seconds,
+        extra=extra,
     )
     return JoinResult(pairs=cross_pairs, stats=stats)

@@ -107,11 +107,9 @@ class LSHableEmbedding:
         SimHash collision probability, making the derived token sets a valid
         LSHable proxy for cosine similarity.
         """
-        rng = np.random.default_rng(self.seed)
         num_planes = 4 * self.embedding_size
         tokens = []
         for plane_index in range(num_planes):
-            plane_rng = np.random.default_rng((self.seed or 0) * 1_000_003 + plane_index)
             projection = 0.0
             for token in record:
                 # Pseudo-random ±1 weight per (plane, token) pair.
@@ -119,7 +117,6 @@ class LSHableEmbedding:
                 projection += 1.0 if weight_rng.random() < 0.5 else -1.0
             sign_bit = 1 if projection >= 0 else 0
             tokens.append(2 * plane_index + sign_bit)
-        del rng
         return tokens
 
 

@@ -14,7 +14,7 @@ tuples, which is how records are stored internally.
 from __future__ import annotations
 
 import math
-from typing import AbstractSet, Callable, Dict, Iterable, Sequence
+from typing import AbstractSet, Callable, Dict, Iterable
 
 __all__ = [
     "overlap_size",

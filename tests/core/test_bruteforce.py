@@ -9,7 +9,6 @@ from repro.core.bruteforce import BruteForcer
 from repro.core.preprocess import preprocess_collection
 from repro.exact.naive import naive_join
 from repro.result import JoinStats
-from repro.similarity.measures import jaccard_similarity
 
 
 def make_brute_forcer(records, threshold=0.5, use_sketches=True, seed=0):

@@ -47,3 +47,23 @@ class TestPreprocessCollection:
         collection = preprocess_collection([[9, 8, 7], [7, 8, 9]], seed=3)
         assert np.array_equal(collection.signatures.matrix[0], collection.signatures.matrix[1])
         assert np.array_equal(collection.sketches.words[0], collection.sketches.words[1])
+
+
+class TestSides:
+    def test_no_sides_by_default(self) -> None:
+        collection = preprocess_collection([[1, 2], [3, 4]], seed=0)
+        assert collection.sides is None
+
+    def test_sides_carried_as_int8(self) -> None:
+        collection = preprocess_collection([[1, 2], [3, 4], [5, 6]], seed=0, sides=[0, 1, 1])
+        assert collection.sides is not None
+        assert collection.sides.dtype == np.int8
+        assert collection.sides.tolist() == [0, 1, 1]
+
+    def test_sides_length_mismatch_rejected(self) -> None:
+        with pytest.raises(ValueError, match="one entry per record"):
+            preprocess_collection([[1, 2], [3, 4]], seed=0, sides=[0])
+
+    def test_sides_values_restricted_to_binary(self) -> None:
+        with pytest.raises(ValueError, match="0 .*or 1"):
+            preprocess_collection([[1, 2], [3, 4]], seed=0, sides=[0, 2])

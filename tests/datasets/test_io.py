@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from pathlib import Path
 
+import pytest
+
 from repro.datasets.base import Dataset
 from repro.datasets.io import read_dataset, write_dataset
 
@@ -38,3 +40,28 @@ class TestDatasetIO:
         write_dataset(Dataset([[3, 1], [7, 8, 9]], name="X"), path)
         lines = [line for line in path.read_text().splitlines() if not line.startswith("#")]
         assert lines == ["1 3", "7 8 9"]
+
+
+class TestReadDatasetValidation:
+    def test_negative_token_rejected_with_line_number(self, tmp_path: Path) -> None:
+        path = tmp_path / "data.txt"
+        path.write_text("1 2 3\n4 -5 6\n")
+        with pytest.raises(ValueError, match=r"data\.txt:2: negative token -5"):
+            read_dataset(path)
+
+    def test_non_integer_token_rejected_with_line_number(self, tmp_path: Path) -> None:
+        path = tmp_path / "data.txt"
+        path.write_text("1 2\n3 x 4\n")
+        with pytest.raises(ValueError, match=r"data\.txt:2: invalid token 'x'"):
+            read_dataset(path)
+
+    def test_line_numbers_count_blank_and_comment_lines(self, tmp_path: Path) -> None:
+        path = tmp_path / "data.txt"
+        path.write_text("# header\n\n1 2 3\n# comment\n\n-7\n")
+        with pytest.raises(ValueError, match=r"data\.txt:6: negative token -7"):
+            read_dataset(path)
+
+    def test_blank_and_comment_lines_still_skipped(self, tmp_path: Path) -> None:
+        path = tmp_path / "data.txt"
+        path.write_text("# header\n\n1 2 3\n\n# tail comment\n")
+        assert read_dataset(path).records == [(1, 2, 3)]

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.exact.prefix_filter import (
     FrequencyOrder,

@@ -13,6 +13,7 @@ from repro.experiments import (
     ablation_stopping,
     figure2,
     figure3,
+    rs_bench,
     table1,
     table2,
     table4,
@@ -119,6 +120,22 @@ class TestTokensScaling:
         assert [row["dataset"] for row in rows] == ["TOKENS10K", "TOKENS15K", "TOKENS20K"]
         for row in rows:
             assert row["speedup@0.7"] > 0
+
+
+class TestRSBench:
+    def test_native_path_reduces_verification(self) -> None:
+        rows = rs_bench.run(scale=0.08, seed=16, trials=1, repetitions=2)
+        assert {row["backend"] for row in rows} == {"python", "numpy"}
+        for row in rows:
+            # The run itself asserts identical pair sets and zero same-side
+            # verified pairs; the rows must show the strict reduction.
+            assert row["native_verified"] < row["fallback_verified"]
+            assert row["verified_reduction"] > 1.0
+
+    def test_workload_plants_duplicates_on_both_sides(self) -> None:
+        left, right = rs_bench.make_rs_workload(scale=0.05, seed=17)
+        planted = max(1, int(len(left) * 0.05))
+        assert right[-planted:] == left[:planted]
 
 
 class TestAblations:

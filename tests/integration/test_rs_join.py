@@ -1,0 +1,168 @@
+"""R ⋈ S correctness: the native side-aware path against its two references.
+
+The native path must match, pair for pair:
+
+* a naive cross-join of the two collections (the exact ground truth — the
+  randomized algorithms are run at seeds where they reach full recall, which
+  is deterministic for a fixed seed), and
+* the old union-self-join fallback at the same seed: the side labels change
+  which comparisons are *executed*, not the recursion or its randomness, so
+  the native path reports exactly the fallback's cross-side pairs.
+
+Both properties are checked for both execution backends and worker counts
+1 and 4, on randomized collections with duplicate records planted on both
+sides (the adversarial case for index mapping: identical token sets under
+different indices and sides).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+import numpy as np
+import pytest
+
+from repro.join import NATIVE_RS_ALGORITHMS, similarity_join_rs
+from repro.similarity.measures import jaccard_similarity
+
+THRESHOLD = 0.5
+
+
+def _random_collections(seed: int) -> Tuple[List[List[int]], List[List[int]]]:
+    """Two random collections with a block of duplicates planted on both sides."""
+    rng = np.random.default_rng(seed)
+    def record() -> List[int]:
+        return sorted(rng.choice(60, size=int(rng.integers(3, 9)), replace=False).tolist())
+
+    left = [record() for _ in range(70)]
+    right = [record() for _ in range(60)]
+    # Duplicates spanning the two sides, plus duplicates *within* each side
+    # (same-side similar pairs are what the native path must skip).
+    left += right[:6]
+    right += left[:6]
+    left += left[3:6]
+    right += right[2:4]
+    return left, right
+
+
+def _naive_cross_join(
+    left: List[List[int]], right: List[List[int]], threshold: float
+) -> Set[Tuple[int, int]]:
+    return {
+        (i, j)
+        for i, left_record in enumerate(left)
+        for j, right_record in enumerate(right)
+        if jaccard_similarity(left_record, right_record) >= threshold
+    }
+
+
+class TestNativeMatchesReferences:
+    @pytest.mark.parametrize("data_seed", [1, 2, 3])
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_cpsjoin_native_matches_naive_and_fallback(self, data_seed, backend, workers) -> None:
+        left, right = _random_collections(data_seed)
+        truth = _naive_cross_join(left, right, THRESHOLD)
+        native = similarity_join_rs(
+            left, right, THRESHOLD, algorithm="cpsjoin", seed=17, backend=backend, workers=workers
+        )
+        fallback = similarity_join_rs(
+            left,
+            right,
+            THRESHOLD,
+            algorithm="cpsjoin",
+            seed=17,
+            backend=backend,
+            workers=workers,
+            native=False,
+        )
+        assert native.pairs == fallback.pairs
+        assert native.pairs == truth
+
+    @pytest.mark.parametrize("algorithm", ["minhash", "bayeslsh"])
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_baselines_native_matches_naive_and_fallback(self, algorithm, backend) -> None:
+        left, right = _random_collections(4)
+        truth = _naive_cross_join(left, right, THRESHOLD)
+        native = similarity_join_rs(
+            left, right, THRESHOLD, algorithm=algorithm, seed=23, backend=backend
+        )
+        fallback = similarity_join_rs(
+            left, right, THRESHOLD, algorithm=algorithm, seed=23, backend=backend, native=False
+        )
+        assert native.pairs == fallback.pairs
+        assert native.pairs == truth
+
+
+class TestBackendsAndWorkersBitIdentical:
+    @pytest.mark.parametrize("data_seed", [5, 6])
+    def test_pair_sets_identical_across_backends_and_workers(self, data_seed) -> None:
+        left, right = _random_collections(data_seed)
+        reference = None
+        for backend in ("python", "numpy"):
+            for workers in (1, 4):
+                result = similarity_join_rs(
+                    left,
+                    right,
+                    THRESHOLD,
+                    algorithm="cpsjoin",
+                    seed=31,
+                    backend=backend,
+                    workers=workers,
+                )
+                if reference is None:
+                    reference = result.pairs
+                assert result.pairs == reference, (backend, workers)
+
+
+class TestHonestStatistics:
+    @pytest.mark.parametrize("algorithm", NATIVE_RS_ALGORITHMS)
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_native_counts_only_cross_side_work(self, algorithm, backend) -> None:
+        left, right = _random_collections(7)
+        native = similarity_join_rs(
+            left, right, THRESHOLD, algorithm=algorithm, seed=13, backend=backend
+        )
+        fallback = similarity_join_rs(
+            left, right, THRESHOLD, algorithm=algorithm, seed=13, backend=backend, native=False
+        )
+        assert native.stats.extra["rs_native"] == 1.0
+        assert native.stats.extra["same_side_verified"] == 0.0
+        assert fallback.stats.extra["rs_native"] == 0.0
+        # Same-side pairs never enter the pipeline, so every counter shrinks.
+        assert native.stats.pre_candidates < fallback.stats.pre_candidates
+        assert native.stats.verified <= fallback.stats.verified
+        assert native.stats.candidates <= fallback.stats.candidates
+        # The planted same-side duplicates guarantee the fallback verifies
+        # same-side pairs the native path skips entirely.
+        assert native.stats.verified < fallback.stats.verified
+
+    def test_results_counter_matches_cross_pairs(self) -> None:
+        left, right = _random_collections(8)
+        native = similarity_join_rs(left, right, THRESHOLD, algorithm="cpsjoin", seed=3)
+        assert native.stats.results == len(native.pairs)
+        assert native.stats.num_records == len(left) + len(right)
+
+
+class TestEdgeCases:
+    def test_empty_left_side_yields_no_pairs(self) -> None:
+        result = similarity_join_rs([], [[1, 2, 3], [4, 5, 6]], 0.5, algorithm="cpsjoin", seed=1)
+        assert result.pairs == set()
+        assert result.stats.verified == 0
+
+    def test_empty_right_side_yields_no_pairs(self) -> None:
+        result = similarity_join_rs([[1, 2, 3]], [], 0.5, algorithm="cpsjoin", seed=1)
+        assert result.pairs == set()
+
+    def test_identical_collections(self) -> None:
+        records = [[1, 2, 3, 4], [10, 11, 12], [20, 21, 22]]
+        result = similarity_join_rs(records, records, 0.9, algorithm="cpsjoin", seed=2)
+        assert result.pairs == {(0, 0), (1, 1), (2, 2)}
+
+    def test_exact_algorithms_use_fallback(self) -> None:
+        left, right = _random_collections(9)
+        truth = _naive_cross_join(left, right, THRESHOLD)
+        for algorithm in ("naive", "allpairs", "ppjoin"):
+            result = similarity_join_rs(left, right, THRESHOLD, algorithm=algorithm)
+            assert result.pairs == truth
+            assert result.stats.extra["rs_native"] == 0.0

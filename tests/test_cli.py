@@ -70,6 +70,60 @@ class TestJoinCommand:
         assert exit_code == 0
 
 
+class TestRSJoinCommand:
+    @pytest.fixture
+    def right_file(self, tmp_path: Path) -> Path:
+        path = tmp_path / "right.txt"
+        records = [
+            [1, 2, 3, 4],
+            [30, 31, 32],
+        ]
+        write_dataset(Dataset(records, name="cliright"), path)
+        return path
+
+    @pytest.mark.parametrize("algorithm", ["cpsjoin", "naive"])
+    def test_join_with_right_reports_cross_pairs(self, dataset_file, right_file, algorithm, capsys) -> None:
+        exit_code = main(
+            [
+                "join",
+                str(dataset_file),
+                "--right",
+                str(right_file),
+                "--threshold",
+                "0.5",
+                "--algorithm",
+                algorithm,
+                "--seed",
+                "3",
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        # Left record 0 == right record 0; pairs are (left index, right index).
+        assert "first,second" in captured.out
+        assert "0,0" in captured.out
+        assert "2,3" not in captured.out
+
+    def test_join_with_right_and_backend_workers(self, dataset_file, right_file, capsys) -> None:
+        exit_code = main(
+            [
+                "join",
+                str(dataset_file),
+                "--right",
+                str(right_file),
+                "--algorithm",
+                "cpsjoin",
+                "--seed",
+                "3",
+                "--backend",
+                "numpy",
+                "--workers",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+
+
 class TestGenerateAndStats:
     def test_generate_then_stats_roundtrip(self, tmp_path, capsys) -> None:
         out = tmp_path / "uniform.txt"

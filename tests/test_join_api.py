@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro import ALGORITHMS, CPSJoinConfig, similarity_join, similarity_join_rs
-from repro.exact.naive import naive_join
 from repro.evaluation.metrics import precision, recall
 from repro.similarity.measures import jaccard_similarity
 
@@ -36,6 +35,38 @@ class TestSimilarityJoin:
         first = similarity_join(records, 0.5, algorithm="cpsjoin", config=config, seed=9)
         second = similarity_join(records, 0.5, algorithm="cpsjoin", config=config, seed=9)
         assert first.pairs == second.pairs
+
+    def test_explicit_seed_wins_over_config_seed(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:80]
+        with_config_seed = similarity_join(
+            records, 0.5, config=CPSJoinConfig(repetitions=2, seed=1), seed=2
+        )
+        with_explicit_seed = similarity_join(records, 0.5, config=CPSJoinConfig(repetitions=2), seed=2)
+        baseline = similarity_join(records, 0.5, config=CPSJoinConfig(repetitions=2, seed=2))
+        # Both precedence orders resolve to seed 2: explicit argument first...
+        assert with_config_seed.pairs == baseline.pairs
+        assert with_config_seed.stats.pre_candidates == baseline.stats.pre_candidates
+        # ...and a config without a seed inherits the explicit argument.
+        assert with_explicit_seed.pairs == baseline.pairs
+
+    def test_config_seed_used_when_no_explicit_seed(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:80]
+        from_config = similarity_join(records, 0.5, config=CPSJoinConfig(repetitions=2, seed=7))
+        baseline = similarity_join(records, 0.5, config=CPSJoinConfig(repetitions=2), seed=7)
+        assert from_config.pairs == baseline.pairs
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_empty_record_rejected_uniformly(self, algorithm) -> None:
+        records = [[1, 2, 3], [], [4, 5, 6]]
+        with pytest.raises(ValueError, match="record 1 is empty"):
+            similarity_join(records, 0.5, algorithm=algorithm, seed=0)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_empty_record_rejected_in_rs_join(self, algorithm) -> None:
+        with pytest.raises(ValueError, match="left record 0 is empty"):
+            similarity_join_rs([[]], [[1, 2]], 0.5, algorithm=algorithm, seed=0)
+        with pytest.raises(ValueError, match="right record 1 is empty"):
+            similarity_join_rs([[1, 2]], [[3, 4], []], 0.5, algorithm=algorithm, seed=0)
 
     def test_exact_and_approximate_consistent(self, uniform_dataset) -> None:
         records = uniform_dataset.records[:200]
