@@ -1,37 +1,44 @@
-"""Streaming deduplication with the Chosen Path index.
+"""Streaming deduplication with the build-once/query-many SimilarityIndex.
 
 The join algorithms in this repository materialize all similar pairs of a
 static collection.  A common production variant is *streaming*: records
-arrive one at a time and each new record must be checked against everything
-seen so far before being admitted.  This is an index-once/query-many
-workload, and it is exactly what the Chosen Path index (the data structure
-CPSJOIN was derived from, reference [5] of the paper) is built for.
+arrive in batches and each new record must be checked against everything
+seen so far before being admitted.  Before the index existed this meant
+re-running a batch join per batch; :class:`repro.index.SimilarityIndex`
+turns it into point lookups (``query``) plus incremental updates
+(``insert``) — no rebuild, ever.
 
 The example simulates a stream of "user profiles" (token sets) in which
 roughly one record in five is a near-duplicate of an earlier one, and
-deduplicates the stream with:
+deduplicates the stream with three index configurations:
 
-* :class:`repro.index.ChosenPathIndex` — the paper-adjacent structure, and
-* :class:`repro.index.MinHashLSHIndex` — the classic LSH banding baseline,
+* ``exact`` — the token inverted index: query results are exactly the pairs
+  an exact batch join would report, so nothing above the threshold slips
+  through;
+* ``chosenpath`` — the Chosen Path forest (the structure CPSJOIN was derived
+  from, reference [5] of the paper);
+* ``lsh`` — classic MinHash LSH banding.
 
-reporting how many duplicates each catches and how many candidate
-verifications each needed (the work measure that separates them from a
-naive scan).
+Per batch it reports the query latency (milliseconds per record), so the
+build-once/query-many advantage is visible directly: latency stays flat as
+the index grows instead of the per-batch cost of a re-join growing with the
+history.
 
 Run with::
 
-    python examples/streaming_dedup.py [--stream-size 800]
+    python examples/streaming_dedup.py [--stream-size 800] [--batch-size 100]
 """
 
 from __future__ import annotations
 
 import argparse
+import time
 from typing import List, Set, Tuple
 
 import numpy as np
 
 from repro.datasets.synthetic import make_near_duplicate
-from repro.index import ChosenPathIndex, MinHashLSHIndex
+from repro.index import SimilarityIndex
 
 
 def build_stream(stream_size: int, seed: int) -> Tuple[List[Tuple[int, ...]], Set[int]]:
@@ -52,48 +59,82 @@ def build_stream(stream_size: int, seed: int) -> Tuple[List[Tuple[int, ...]], Se
     return stream, duplicate_positions
 
 
-def deduplicate(index, stream, threshold: float) -> Tuple[Set[int], int]:
-    """Run the stream through an index; returns flagged positions and candidate count."""
+def deduplicate(
+    index: SimilarityIndex,
+    stream: List[Tuple[int, ...]],
+    batch_size: int,
+    verbose: bool = True,
+) -> Set[int]:
+    """Stream records through query + insert; returns the flagged positions.
+
+    Each record is queried against everything inserted so far — including
+    earlier records of the same batch, which a batch-level
+    ``query_batch``-then-``insert_all`` round would miss — then inserted;
+    the per-batch latency is reported.
+    """
     flagged: Set[int] = set()
-    total_candidates = 0
-    for position, record in enumerate(stream):
-        total_candidates += len(index.candidates(record))
-        if index.query(record):
-            flagged.add(position)
-        index.insert(record)
-    return flagged, total_candidates
+    for start in range(0, len(stream), batch_size):
+        batch = stream[start : start + batch_size]
+        began = time.perf_counter()
+        for offset, record in enumerate(batch):
+            if index.query(record):
+                flagged.add(start + offset)
+            index.insert(record)
+        elapsed = time.perf_counter() - began
+        if verbose:
+            print(
+                f"  batch {start // batch_size + 1:>3}: {len(batch):>4} records, "
+                f"index size {len(index):>5}, "
+                f"{1000.0 * elapsed / len(batch):6.3f} ms/record"
+            )
+    return flagged
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--stream-size", type=int, default=800)
+    parser.add_argument("--batch-size", type=int, default=100)
     parser.add_argument("--threshold", type=float, default=0.5)
     parser.add_argument("--seed", type=int, default=11)
     args = parser.parse_args()
 
     stream, true_duplicates = build_stream(args.stream_size, args.seed)
-    print(f"Stream of {len(stream)} records, {len(true_duplicates)} planted near-duplicates, "
-          f"threshold {args.threshold}\n")
+    print(
+        f"Stream of {len(stream)} records in batches of {args.batch_size}, "
+        f"{len(true_duplicates)} planted near-duplicates, threshold {args.threshold}\n"
+    )
 
-    naive_comparisons = len(stream) * (len(stream) - 1) // 2
-
-    for name, index in (
-        ("ChosenPathIndex", ChosenPathIndex(args.threshold, depth=3, repetitions=12, seed=args.seed)),
-        ("MinHashLSHIndex", MinHashLSHIndex(args.threshold, bands=32, rows=4, seed=args.seed)),
-    ):
-        flagged, candidates = deduplicate(index, stream, args.threshold)
+    configurations = (
+        ("exact", dict(candidates="exact", backend="numpy")),
+        ("chosenpath", dict(candidates="chosenpath", chosen_path_depth=3, chosen_path_repetitions=12)),
+        ("lsh", dict(candidates="lsh", lsh_bands=32, lsh_rows=4)),
+    )
+    for name, options in configurations:
+        index = SimilarityIndex(args.threshold, seed=args.seed, **options)
+        print(f"SimilarityIndex(candidates={name!r}):")
+        began = time.perf_counter()
+        flagged = deduplicate(index, stream, args.batch_size)
+        total = time.perf_counter() - began
         caught = len(flagged & true_duplicates)
         extra = len(flagged - true_duplicates)
-        print(f"{name}:")
+        stats = index.stats
         print(f"  duplicates caught:        {caught} / {len(true_duplicates)}")
         print(f"  additional pairs flagged: {extra} (records genuinely above the threshold by chance)")
-        print(f"  candidate verifications:  {candidates} "
-              f"({candidates / naive_comparisons:.1%} of a naive all-pairs scan)")
+        print(
+            f"  candidate verifications:  {stats.verified} "
+            f"({stats.verified / (len(stream) * (len(stream) - 1) // 2):.2%} of a naive all-pairs scan)"
+        )
+        print(
+            f"  stage split:              candidate {stats.candidate_seconds:.3f}s / "
+            f"filter {stats.filter_seconds:.3f}s / verify {stats.verify_seconds:.3f}s "
+            f"(total {total:.3f}s, inserts {stats.index_build_seconds:.3f}s)"
+        )
         print()
 
-    print("Both indexes verify every candidate exactly, so anything flagged truly exceeds")
-    print("the similarity threshold; the difference between them (and versus a naive scan)")
-    print("is how many candidate verifications they need to get there.")
+    print("Every flagged record was verified exactly against the matching earlier record,")
+    print("so anything flagged truly exceeds the similarity threshold.  The exact mode")
+    print("misses nothing by construction; the approximate modes trade a bounded miss")
+    print("probability for sublinear candidate generation.")
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from repro.experiments import (
     backend_bench,
     figure2,
     figure3,
+    index_bench,
     rs_bench,
     table1,
     table2,
@@ -90,6 +91,10 @@ def main() -> None:
     section(
         "R ⋈ S benchmark — native side-aware path vs union self-join fallback",
         format_table(rs_bench.run(scale=args.scale, seed=args.seed)),
+    )
+    section(
+        "Index benchmark — build-once/query-many vs repeated batch re-join",
+        format_table(index_bench.run(scale=args.scale, seed=args.seed)),
     )
     section("Total wall-clock time", f"{time.time() - start:.1f} seconds at scale {args.scale}")
 

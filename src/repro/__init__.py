@@ -19,10 +19,12 @@ Quickstart::
 from repro.core.config import CPSJoinConfig
 from repro.core.cpsjoin import CPSJoin, cpsjoin
 from repro.datasets.base import Dataset
+from repro.engine import JoinEngine
+from repro.index import SimilarityIndex
 from repro.join import ALGORITHMS, similarity_join, similarity_join_rs
 from repro.result import JoinResult, JoinStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CPSJoinConfig",
@@ -32,6 +34,8 @@ __all__ = [
     "ALGORITHMS",
     "similarity_join",
     "similarity_join_rs",
+    "SimilarityIndex",
+    "JoinEngine",
     "JoinResult",
     "JoinStats",
     "__version__",

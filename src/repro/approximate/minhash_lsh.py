@@ -8,27 +8,66 @@ the per-pair recall from ``λ^k`` (for a pair exactly at the threshold) to
 Following Section V-B, the parameter ``k`` is chosen per dataset and
 threshold by running only the splitting step for ``k ∈ {2, …, 10}`` and
 picking the value minimizing an estimated cost combining the bucket lookups
-and the pairwise comparisons inside buckets.  The bucket brute-force shares
-the :class:`repro.core.bruteforce.BruteForcer` kernel with CPSJOIN (sketch
-filter + exact verification), exactly as the two implementations share
-BRUTEFORCEPAIRS in the paper.
+and the pairwise comparisons inside buckets.  Execution is staged through
+the shared :class:`repro.engine.JoinEngine`: bucketing is the candidate
+stage (each non-trivial bucket becomes a
+:class:`~repro.engine.stages.SubsetCandidates` task), and the engine runs
+the same sketch-filter and verify stages CPSJOIN uses — exactly as the two
+implementations share BRUTEFORCEPAIRS in the paper.
 """
 
 from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.bruteforce import BruteForcer
 from repro.core.preprocess import PreprocessedCollection, preprocess_collection
+from repro.engine import CandidateStage, JoinEngine, SubsetCandidates, Task
 from repro.result import JoinResult, JoinStats, Timer
 
-__all__ = ["MinHashLSHJoin", "minhash_lsh_join"]
+__all__ = ["MinHashLSHJoin", "MinHashBucketStage", "minhash_lsh_join"]
 
 Pair = Tuple[int, int]
+
+_SEED_STREAM = 104729
+"""Odd multiplier deriving per-repetition seeds (kept from the seed impl)."""
+
+
+class MinHashBucketStage(CandidateStage):
+    """Candidate stage of MinHash LSH: ``repetitions`` rounds of bucketing.
+
+    Each round samples ``k`` signature coordinates and yields every bucket of
+    at least two records as a brute-force task; the randomness consumption is
+    identical to the historical per-run loop.
+    """
+
+    def __init__(
+        self,
+        join: "MinHashLSHJoin",
+        collection: PreprocessedCollection,
+        k: int,
+        repetitions: int,
+        rng: np.random.Generator,
+        stats: JoinStats,
+        count_repetitions: bool = True,
+    ) -> None:
+        self.join = join
+        self.collection = collection
+        self.k = k
+        self.repetitions = repetitions
+        self.rng = rng
+        self.stats = stats
+        self.count_repetitions = count_repetitions
+
+    def tasks(self) -> Iterator[Task]:
+        for _ in range(self.repetitions):
+            for bucket in self.join._bucketize(self.collection, self.k, self.rng):
+                yield SubsetCandidates(tuple(bucket))
+            if self.count_repetitions:
+                self.stats.repetitions += 1
 
 
 class MinHashLSHJoin:
@@ -56,6 +95,8 @@ class MinHashLSHJoin:
     """
 
     CANDIDATE_K_RANGE = range(2, 11)
+
+    algorithm_name = "MINHASH"
 
     def __init__(
         self,
@@ -100,7 +141,7 @@ class MinHashLSHJoin:
         """Run the join on an already preprocessed collection."""
         rng = np.random.default_rng(self.seed)
         stats = JoinStats(
-            algorithm="MINHASH",
+            algorithm=self.algorithm_name,
             threshold=self.threshold,
             num_records=collection.num_records,
             repetitions=0,
@@ -109,32 +150,42 @@ class MinHashLSHJoin:
         k = self.num_hash_functions or self.select_k(collection, rng)
         stats.extra["k"] = float(k)
         repetitions = self.repetitions or self.repetitions_for_recall(k)
-        pairs: Set[Pair] = set()
+        engine = self._make_engine(collection)
+        stage = MinHashBucketStage(self, collection, k, repetitions, rng, stats)
         with Timer() as timer:
-            for repetition in range(repetitions):
-                self._single_run(collection, k, rng, pairs, stats)
-                stats.repetitions += 1
+            pairs = engine.execute(stage, stats)
         stats.results = len(pairs)
         stats.elapsed_seconds = timer.elapsed
         return JoinResult(pairs=pairs, stats=stats)
 
     def run_once(self, collection: PreprocessedCollection, repetition: int = 0) -> JoinResult:
         """Run a single repetition (used by the recall-targeting experiment driver)."""
-        rng = np.random.default_rng(None if self.seed is None else self.seed * 104729 + repetition)
+        rng = JoinEngine.repetition_rng(self.seed, repetition, stream=_SEED_STREAM)
         stats = JoinStats(
-            algorithm="MINHASH",
+            algorithm=self.algorithm_name,
             threshold=self.threshold,
             num_records=collection.num_records,
             repetitions=1,
         )
         k = self.num_hash_functions or self.select_k(collection, rng)
         stats.extra["k"] = float(k)
-        pairs: Set[Pair] = set()
+        engine = self._make_engine(collection)
+        stage = MinHashBucketStage(self, collection, k, 1, rng, stats, count_repetitions=False)
         with Timer() as timer:
-            self._single_run(collection, k, rng, pairs, stats)
+            pairs = engine.execute(stage, stats)
         stats.results = len(pairs)
         stats.elapsed_seconds = timer.elapsed
         return JoinResult(pairs=pairs, stats=stats)
+
+    def _make_engine(self, collection: PreprocessedCollection) -> JoinEngine:
+        """The staged execution engine running this join's filter/verify stages."""
+        return JoinEngine(
+            collection,
+            self.threshold,
+            backend=self.backend,
+            use_sketches=self.use_sketches,
+            sketch_false_negative_rate=self.sketch_false_negative_rate,
+        )
 
     # ------------------------------------------------------------------ internals
     def repetitions_for_recall(self, k: int) -> int:
@@ -175,27 +226,6 @@ class MinHashLSHJoin:
         for record_id in range(collection.num_records):
             groups[tuple(int(value) for value in keys[record_id])].append(record_id)
         return [bucket for bucket in groups.values() if len(bucket) >= 2]
-
-    def _single_run(
-        self,
-        collection: PreprocessedCollection,
-        k: int,
-        rng: np.random.Generator,
-        pairs: Set[Pair],
-        stats: JoinStats,
-    ) -> None:
-        """One repetition: bucket the collection, then brute-force every bucket."""
-        brute_forcer = BruteForcer(
-            collection,
-            self.threshold,
-            stats,
-            use_sketches=self.use_sketches,
-            sketch_false_negative_rate=self.sketch_false_negative_rate,
-            rng=rng,
-            backend=self.backend,
-        )
-        for bucket in self._bucketize(collection, k, rng):
-            brute_forcer.pairs(bucket, pairs)
 
 
 def minhash_lsh_join(

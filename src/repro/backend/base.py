@@ -27,6 +27,7 @@ from typing import ClassVar, List, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.backend.kernels import size_compatible_mask, sketch_estimates
 from repro.core.preprocess import PreprocessedCollection
 from repro.hashing.sketch import _HAS_BITWISE_COUNT, popcount_rows
 from repro.result import canonical_pair
@@ -65,8 +66,7 @@ class ExecutionBackend(ABC):
     def sketch_estimate_one_to_many(self, record_id: int, others: np.ndarray) -> np.ndarray:
         """Sketch-estimated Jaccard similarity of one record against many."""
         sketches = self.collection.sketches
-        distances = popcount_rows(sketches.words[others] ^ sketches.words[record_id])
-        return 1.0 - 2.0 * distances / sketches.num_bits
+        return sketch_estimates(sketches.words[record_id], sketches.words[others], sketches.num_bits)
 
     def _filter_one_to_many(
         self,
@@ -76,19 +76,97 @@ class ExecutionBackend(ABC):
         sketch_cutoff: float,
     ) -> np.ndarray:
         """Candidates among ``others``: size probe plus optional sketch filter."""
-        # Size-compatibility probe: J(x, y) >= λ forces λ <= |y|/|x| <= 1/λ.
-        size_x = self.sizes[record_id]
-        other_sizes = self.sizes[others]
-        passing = (other_sizes >= self.threshold * size_x) & (size_x >= self.threshold * other_sizes)
+        passing = size_compatible_mask(self.sizes[record_id], self.sizes[others], self.threshold)
         if use_sketches:
             estimates = self.sketch_estimate_one_to_many(record_id, others)
             passing &= estimates >= sketch_cutoff
         return others[passing]
 
+    # ------------------------------------------------------------------ staged filtering (engine primitives)
+    def filter_point(
+        self,
+        record_id: int,
+        others: np.ndarray,
+        use_sketches: bool,
+        sketch_cutoff: float,
+    ) -> Tuple[int, np.ndarray]:
+        """Filter stage of BRUTEFORCEPOINT: side mask, size probe, sketch filter.
+
+        Returns ``(pre_candidates, survivors)``: ``pre_candidates`` counts
+        every considered pair (after the side mask — in a side-aware
+        collection same-side pairs are not part of the workload) and
+        ``survivors`` the ids that must be verified exactly.
+        """
+        others = np.asarray(others, dtype=np.intp)
+        if self.sides is not None and others.size:
+            others = others[self.sides[others] != self.sides[record_id]]
+        pre_candidates = int(others.size)
+        if pre_candidates == 0:
+            return 0, others
+        return pre_candidates, self._filter_one_to_many(record_id, others, use_sketches, sketch_cutoff)
+
+    def filter_subset(
+        self,
+        subset: Sequence[int],
+        use_sketches: bool,
+        sketch_cutoff: float,
+    ) -> Tuple[int, np.ndarray, np.ndarray]:
+        """Filter stage of BRUTEFORCEPAIRS over every pair within ``subset``.
+
+        Returns ``(pre_candidates, firsts, seconds)`` where the two id arrays
+        hold the filter-surviving pairs awaiting exact verification.  The
+        base implementation walks the subset row by row; backends may
+        override it with a block kernel.
+        """
+        subset = list(subset)
+        pre_candidates = 0
+        firsts: List[int] = []
+        seconds: List[int] = []
+        for position, record_id in enumerate(subset):
+            rest = subset[position + 1 :]
+            if not rest:
+                continue
+            pre, passing = self.filter_point(
+                record_id, np.asarray(rest, dtype=np.intp), use_sketches, sketch_cutoff
+            )
+            pre_candidates += pre
+            firsts.extend([record_id] * int(passing.size))
+            seconds.extend(int(other) for other in passing)
+        return (
+            pre_candidates,
+            np.asarray(firsts, dtype=np.intp),
+            np.asarray(seconds, dtype=np.intp),
+        )
+
     # ------------------------------------------------------------------ exact verification
     @abstractmethod
     def verify_one_to_many(self, record_id: int, others: np.ndarray) -> np.ndarray:
         """Boolean mask: which of ``others`` truly meet the threshold against ``record_id``."""
+
+    def verify_pairs(self, firsts: np.ndarray, seconds: np.ndarray) -> np.ndarray:
+        """Exact verification of an arbitrary block of (first, second) pairs.
+
+        Pairs are grouped by their first record so each group reduces to one
+        one-to-many verification — vectorized in the numpy backend, a scalar
+        loop in the python backend; either way the accepted mask is
+        bit-for-bit identical.
+        """
+        firsts = np.asarray(firsts, dtype=np.intp)
+        seconds = np.asarray(seconds, dtype=np.intp)
+        accepted = np.zeros(firsts.size, dtype=bool)
+        if firsts.size == 0:
+            return accepted
+        order = np.argsort(firsts, kind="stable")
+        sorted_firsts = firsts[order]
+        sorted_seconds = seconds[order]
+        group_starts = np.flatnonzero(np.r_[True, sorted_firsts[1:] != sorted_firsts[:-1]])
+        group_ends = np.r_[group_starts[1:], sorted_firsts.size]
+        for start, end in zip(group_starts, group_ends):
+            record_id = int(sorted_firsts[start])
+            accepted[order[start:end]] = self.verify_one_to_many(
+                record_id, sorted_seconds[start:end]
+            )
+        return accepted
 
     # ------------------------------------------------------------------ candidate pipelines
     def one_to_many(
@@ -105,13 +183,7 @@ class ExecutionBackend(ABC):
         pairs surviving the filters (and therefore exactly verified).  In a
         side-aware collection, same-side pairs are not considered at all.
         """
-        others = np.asarray(others, dtype=np.intp)
-        if self.sides is not None and others.size:
-            others = others[self.sides[others] != self.sides[record_id]]
-        pre_candidates = int(others.size)
-        if pre_candidates == 0:
-            return 0, 0, []
-        passing = self._filter_one_to_many(record_id, others, use_sketches, sketch_cutoff)
+        pre_candidates, passing = self.filter_point(record_id, others, use_sketches, sketch_cutoff)
         if passing.size == 0:
             return pre_candidates, 0, []
         accepted = self.verify_one_to_many(record_id, passing)
@@ -125,25 +197,19 @@ class ExecutionBackend(ABC):
     ) -> Tuple[int, int, Set[Pair]]:
         """Full pipeline for every pair within ``subset`` (BRUTEFORCEPAIRS).
 
-        The base implementation walks the subset row by row, exactly like the
-        seed implementation; backends may override it with a block kernel.
-        Returns ``(pre_candidates, verified, accepted_pairs)``.
+        Expressed as the staged primitives run back to back:
+        :meth:`filter_subset` followed by :meth:`verify_pairs`.  Returns
+        ``(pre_candidates, verified, accepted_pairs)``.
         """
-        subset = list(subset)
-        pre_candidates = 0
-        verified = 0
-        accepted: Set[Pair] = set()
-        for position, record_id in enumerate(subset):
-            rest = subset[position + 1 :]
-            if not rest:
-                continue
-            pre, checked, accepted_ids = self.one_to_many(
-                record_id, np.asarray(rest, dtype=np.intp), use_sketches, sketch_cutoff
-            )
-            pre_candidates += pre
-            verified += checked
-            for other_id in accepted_ids:
-                accepted.add(canonical_pair(record_id, other_id))
+        pre_candidates, firsts, seconds = self.filter_subset(subset, use_sketches, sketch_cutoff)
+        verified = int(firsts.size)
+        if verified == 0:
+            return pre_candidates, 0, set()
+        mask = self.verify_pairs(firsts, seconds)
+        accepted = {
+            canonical_pair(int(first), int(second))
+            for first, second in zip(firsts[mask], seconds[mask])
+        }
         return pre_candidates, verified, accepted
 
     # ------------------------------------------------------------------ average similarity

@@ -1,0 +1,125 @@
+"""Shared vectorized verification kernels over CSR-packed token arrays.
+
+The numpy execution backend and the :class:`repro.index.SimilarityIndex`
+both verify candidates with the same primitive: the exact intersection size
+of one sorted token array against a block of CSR-packed records, reduced via
+``searchsorted`` plus a segmented sum.  The kernels live here so the two can
+never diverge — the backend binds them to a
+:class:`~repro.core.preprocess.PreprocessedCollection`, the index binds them
+to its own incrementally grown arrays.
+
+Acceptance is always decided with the integer overlap bound
+``|x ∩ y| ≥ ⌈λ/(1+λ)(|x| + |y|)⌉``
+(:func:`repro.similarity.measures.required_overlap_for_jaccard` evaluated
+vectorized), so scalar and vectorized callers agree on every borderline pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.sketch import popcount_rows
+
+__all__ = [
+    "csr_overlaps_one_to_many",
+    "overlap_jaccard",
+    "required_overlaps",
+    "size_compatible_mask",
+    "sketch_estimates",
+]
+
+
+def size_compatible_mask(
+    first_sizes: np.ndarray, second_sizes: np.ndarray, threshold: float
+) -> np.ndarray:
+    """Size-compatibility probe: ``J(x, y) ≥ λ`` forces ``λ ≤ |y|/|x| ≤ 1/λ``.
+
+    Broadcasts, so either side may be a scalar.  Every filter stage in the
+    repository (engine, backends, index) evaluates exactly this expression.
+    """
+    return (second_sizes >= threshold * first_sizes) & (first_sizes >= threshold * second_sizes)
+
+
+def sketch_estimates(
+    first_words: np.ndarray, second_words: np.ndarray, num_bits: int
+) -> np.ndarray:
+    """1-bit minwise sketch similarity estimates ``1 - 2·hamming/num_bits``.
+
+    ``first_words`` / ``second_words`` broadcast (one sketch row against a
+    block, or two aligned blocks).
+    """
+    distances = popcount_rows(first_words ^ second_words)
+    return 1.0 - 2.0 * distances / num_bits
+
+
+def csr_overlaps_one_to_many(
+    query_tokens: np.ndarray,
+    values: np.ndarray,
+    offsets: np.ndarray,
+    sizes: np.ndarray,
+    others: np.ndarray,
+) -> np.ndarray:
+    """Exact intersection sizes of one sorted token array against a CSR block.
+
+    Parameters
+    ----------
+    query_tokens:
+        Sorted token array of the probing record.
+    values, offsets:
+        CSR-packed token sets: record ``i`` occupies
+        ``values[offsets[i] : offsets[i] + sizes[i]]`` (sorted).
+    sizes:
+        Per-record set sizes (indexable by the ids in ``others``).
+    others:
+        Record ids to intersect the query against.
+    """
+    query_tokens = np.asarray(query_tokens, dtype=values.dtype)
+    others = np.asarray(others, dtype=np.intp)
+    if others.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if query_tokens.size == 0:
+        return np.zeros(others.size, dtype=np.int64)
+    if others.size == 1:
+        # Fast path for the very common singleton candidate block.
+        other = int(others[0])
+        tokens = values[offsets[other] : offsets[other] + sizes[other]]
+        positions = np.searchsorted(query_tokens, tokens)
+        matches = positions < query_tokens.size
+        matches &= query_tokens[np.minimum(positions, query_tokens.size - 1)] == tokens
+        return np.array([int(np.count_nonzero(matches))], dtype=np.int64)
+    starts = offsets[others]
+    lengths = sizes[others]
+    boundaries = np.zeros(others.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=boundaries[1:])
+    # Flat indices of every token of every candidate in the packed array.
+    flat_index = np.arange(boundaries[-1], dtype=np.int64) + np.repeat(
+        starts - boundaries[:-1], lengths
+    )
+    tokens = values[flat_index]
+
+    positions = np.searchsorted(query_tokens, tokens)
+    matches = positions < query_tokens.size
+    matches &= query_tokens[np.minimum(positions, query_tokens.size - 1)] == tokens
+    return np.add.reduceat(matches.astype(np.int64), boundaries[:-1])
+
+
+def required_overlaps(
+    query_size: int, other_sizes: np.ndarray, overlap_ratio: float
+) -> np.ndarray:
+    """Vectorized ``⌈λ/(1+λ)(|x| + |y|)⌉`` with the backend's epsilon guard.
+
+    ``overlap_ratio`` is the precomputed ``λ / (1 + λ)``; the ``1e-9`` slack
+    mirrors :func:`repro.similarity.measures.required_overlap_for_jaccard` so
+    float rounding can never flip a borderline pair.
+    """
+    sums = query_size + np.asarray(other_sizes)
+    return np.ceil(overlap_ratio * sums - 1e-9).astype(np.int64)
+
+
+def overlap_jaccard(query_size: int, other_sizes: np.ndarray, overlaps: np.ndarray) -> np.ndarray:
+    """Exact Jaccard similarities from intersection sizes (``|∩| / |∪|``)."""
+    overlaps = np.asarray(overlaps, dtype=np.float64)
+    unions = query_size + np.asarray(other_sizes, dtype=np.float64) - overlaps
+    with np.errstate(invalid="ignore", divide="ignore"):
+        similarity = np.where(unions > 0, overlaps / np.maximum(unions, 1.0), 1.0)
+    return similarity

@@ -7,10 +7,13 @@ and the pairwise sketch filter — are executed over whole candidate blocks:
   (:meth:`repro.core.preprocess.PreprocessedCollection.packed_tokens`); the
   intersection of one record with a block of candidates is a single
   ``searchsorted`` over the concatenated candidate tokens followed by a
-  segmented sum (``np.add.reduceat``).
-* BRUTEFORCEPAIRS materializes the upper triangle of a subproblem, applies
-  the size probe and the 1-bit sketch Hamming filter (``np.bitwise_xor`` +
-  byte popcount table) to all pairs at once, and verifies only the survivors.
+  segmented sum (:func:`repro.backend.kernels.csr_overlaps_one_to_many`,
+  shared with the :class:`repro.index.SimilarityIndex` query kernels).
+* The BRUTEFORCEPAIRS filter stage materializes the upper triangle of a
+  subproblem, applies the size probe and the 1-bit sketch Hamming filter
+  (``np.bitwise_xor`` + byte popcount table) to all pairs at once; the
+  surviving pairs are verified by the grouped block verifier of the base
+  class.
 
 Acceptance is decided with the same integer overlap bound
 (:func:`repro.similarity.measures.required_overlap_for_jaccard`) as the
@@ -20,15 +23,14 @@ scalar backend, so the verified pair sets are bit-for-bit identical.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Sequence, Set, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.backend.base import ExecutionBackend, Pair
+from repro.backend.base import ExecutionBackend
+from repro.backend.kernels import csr_overlaps_one_to_many
 from repro.core.preprocess import PreprocessedCollection
 from repro.hashing.sketch import _HAS_BITWISE_COUNT, popcount_rows
-from repro.result import canonical_pair
-from repro.similarity.verify import verify_pair_sorted
 
 __all__ = ["NumpyBackend"]
 
@@ -37,11 +39,11 @@ __all__ = ["NumpyBackend"]
 def _triu_indices(num_records: int) -> Tuple[np.ndarray, np.ndarray]:
     """Cached upper-triangle index pair for subsets of a given size.
 
-    BRUTEFORCEPAIRS is called on thousands of subproblems capped at the same
-    ``limit``, so the index arrays repeat constantly.  The cache is bounded:
-    each entry costs two ``n(n-1)/2`` index arrays, so an unbounded cache
-    over all sizes up to :attr:`NumpyBackend.BLOCK_ROW_LIMIT` could pin
-    hundreds of megabytes in a long experiment process.
+    The BRUTEFORCEPAIRS filter is called on thousands of subproblems capped
+    at the same ``limit``, so the index arrays repeat constantly.  The cache
+    is bounded: each entry costs two ``n(n-1)/2`` index arrays, so an
+    unbounded cache over all sizes up to :attr:`NumpyBackend.BLOCK_ROW_LIMIT`
+    could pin hundreds of megabytes in a long experiment process.
     """
     first, second = np.triu_indices(num_records, k=1)
     first.setflags(write=False)
@@ -59,7 +61,7 @@ class NumpyBackend(ExecutionBackend):
     # the materialized upper triangle.
     BLOCK_ROW_LIMIT = 512
 
-    # At or below this subset size the all-pairs kernel uses a scalar path:
+    # At or below this subset size the all-pairs filter uses a scalar path:
     # the recursion produces thousands of tiny buckets for which Python
     # integer sketch arithmetic beats the fixed cost of numpy dispatches.
     SMALL_ROW_LIMIT = 12
@@ -82,29 +84,9 @@ class NumpyBackend(ExecutionBackend):
 
     def _overlaps_one_to_many(self, record_id: int, others: np.ndarray) -> np.ndarray:
         """Exact intersection sizes of one record against a block of records."""
-        record = self._record_tokens(record_id)
-        if others.size == 1:
-            # Fast path for the very common singleton candidate block.
-            other = int(others[0])
-            tokens = self._values[self._offsets[other] : self._offsets[other] + self.sizes[other]]
-            positions = np.searchsorted(record, tokens)
-            matches = positions < record.size
-            matches &= record[np.minimum(positions, record.size - 1)] == tokens
-            return np.array([int(np.count_nonzero(matches))], dtype=np.int64)
-        starts = self._offsets[others]
-        lengths = self.sizes[others]
-        boundaries = np.zeros(others.size + 1, dtype=np.int64)
-        np.cumsum(lengths, out=boundaries[1:])
-        # Flat indices of every token of every candidate in the packed array.
-        flat_index = np.arange(boundaries[-1], dtype=np.int64) + np.repeat(
-            starts - boundaries[:-1], lengths
+        return csr_overlaps_one_to_many(
+            self._record_tokens(record_id), self._values, self._offsets, self.sizes, others
         )
-        tokens = self._values[flat_index]
-
-        positions = np.searchsorted(record, tokens)
-        matches = positions < record.size
-        matches &= record[np.minimum(positions, record.size - 1)] == tokens
-        return np.add.reduceat(matches.astype(np.int64), boundaries[:-1])
 
     def _required_overlaps(self, record_id: int, others: np.ndarray) -> np.ndarray:
         sums = self.sizes[record_id] + self.sizes[others]
@@ -136,44 +118,22 @@ class NumpyBackend(ExecutionBackend):
         overlaps = self._overlaps_one_to_many(record_id, others)
         return overlaps >= self._required_overlaps(record_id, others)
 
-    def verify_pairs(self, firsts: np.ndarray, seconds: np.ndarray) -> np.ndarray:
-        """Exact verification of an arbitrary block of (first, second) pairs.
-
-        Pairs are grouped by their first record so each group reduces to one
-        vectorized one-to-many verification.
-        """
-        firsts = np.asarray(firsts, dtype=np.intp)
-        seconds = np.asarray(seconds, dtype=np.intp)
-        accepted = np.zeros(firsts.size, dtype=bool)
-        if firsts.size == 0:
-            return accepted
-        order = np.argsort(firsts, kind="stable")
-        sorted_firsts = firsts[order]
-        sorted_seconds = seconds[order]
-        group_starts = np.flatnonzero(np.r_[True, sorted_firsts[1:] != sorted_firsts[:-1]])
-        group_ends = np.r_[group_starts[1:], sorted_firsts.size]
-        for start, end in zip(group_starts, group_ends):
-            record_id = int(sorted_firsts[start])
-            accepted[order[start:end]] = self.verify_one_to_many(
-                record_id, sorted_seconds[start:end]
-            )
-        return accepted
-
-    # ------------------------------------------------------------------ all-pairs block kernel
-    def all_pairs(
+    # ------------------------------------------------------------------ all-pairs block filter
+    def filter_subset(
         self,
         subset: Sequence[int],
         use_sketches: bool,
         sketch_cutoff: float,
-    ) -> Tuple[int, int, Set[Pair]]:
+    ) -> Tuple[int, np.ndarray, np.ndarray]:
         subset = list(subset)
         num_records = len(subset)
+        empty = np.zeros(0, dtype=np.intp)
         if num_records < 2:
-            return 0, 0, set()
+            return 0, empty, empty
         if num_records <= self.SMALL_ROW_LIMIT:
-            return self._all_pairs_small(subset, use_sketches, sketch_cutoff)
+            return self._filter_subset_small(subset, use_sketches, sketch_cutoff)
         if num_records > self.BLOCK_ROW_LIMIT:
-            return super().all_pairs(subset, use_sketches, sketch_cutoff)
+            return super().filter_subset(subset, use_sketches, sketch_cutoff)
 
         ids = np.asarray(subset, dtype=np.intp)
         first_pos, second_pos = _triu_indices(num_records)
@@ -186,7 +146,7 @@ class NumpyBackend(ExecutionBackend):
             first_pos, second_pos = first_pos[cross], second_pos[cross]
         pre_candidates = int(first_pos.size)
         if pre_candidates == 0:
-            return 0, 0, set()
+            return 0, empty, empty
 
         sizes = self.sizes[ids]
         passing = (sizes[second_pos] >= self.threshold * sizes[first_pos]) & (
@@ -209,31 +169,20 @@ class NumpyBackend(ExecutionBackend):
             surviving = distances <= self._max_sketch_distance(sketch_cutoff)
             first_pos, second_pos = first_pos[surviving], second_pos[surviving]
 
-        verified = int(first_pos.size)
-        if verified == 0:
-            return pre_candidates, 0, set()
+        return pre_candidates, ids[first_pos], ids[second_pos]
 
-        firsts, seconds = ids[first_pos], ids[second_pos]
-        accepted_mask = self.verify_pairs(firsts, seconds)
-        accepted = {
-            canonical_pair(int(first), int(second))
-            for first, second in zip(firsts[accepted_mask], seconds[accepted_mask])
-        }
-        return pre_candidates, verified, accepted
-
-    def _all_pairs_small(
+    def _filter_subset_small(
         self,
         subset: List[int],
         use_sketches: bool,
         sketch_cutoff: float,
-    ) -> Tuple[int, int, Set[Pair]]:
-        """Scalar all-pairs kernel for tiny subproblems.
+    ) -> Tuple[int, np.ndarray, np.ndarray]:
+        """Scalar all-pairs filter for tiny subproblems.
 
-        Arithmetically identical to the block kernel: the same size probe,
+        Arithmetically identical to the block kernel: the same size probe and
         the same sketch estimate ``1 - 2d/num_bits`` (evaluated on the same
         IEEE doubles, with the Hamming distance taken by ``int.bit_count``
-        on the cached big-integer sketches), and the same exact overlap
-        bound for verification.
+        on the cached big-integer sketches).
         """
         num_records = len(subset)
         sides = self.sides
@@ -244,13 +193,12 @@ class NumpyBackend(ExecutionBackend):
             # in the subset, the workload is n₀ · n₁ pairs.
             num_right = int(np.count_nonzero(sides[np.asarray(subset, dtype=np.intp)]))
             pre_candidates = num_right * (num_records - num_right)
-        verified = 0
-        accepted: Set[Pair] = set()
+        firsts: List[int] = []
+        seconds: List[int] = []
         sizes = self._size_list
         sketch_ints = self._sketch_ints
         num_bits = self.collection.sketches.num_bits
         threshold = self.threshold
-        records = self.collection.records
         for position in range(num_records):
             record_id = subset[position]
             size_first = sizes[record_id]
@@ -265,7 +213,10 @@ class NumpyBackend(ExecutionBackend):
                     distance = (sketch_ints[record_id] ^ sketch_ints[other_id]).bit_count()
                     if 1.0 - 2.0 * distance / num_bits < sketch_cutoff:
                         continue
-                verified += 1
-                if verify_pair_sorted(records[record_id], records[other_id], threshold)[0]:
-                    accepted.add(canonical_pair(record_id, other_id))
-        return pre_candidates, verified, accepted
+                firsts.append(record_id)
+                seconds.append(other_id)
+        return (
+            pre_candidates,
+            np.asarray(firsts, dtype=np.intp),
+            np.asarray(seconds, dtype=np.intp),
+        )

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Four subcommands cover the day-to-day uses of the library without writing any
+Five subcommands cover the day-to-day uses of the library without writing any
 Python:
 
 * ``repro-join join`` — run a similarity self-join over a token-set file
@@ -8,6 +8,11 @@ Python:
   save the resulting pairs.  With ``--right`` a second dataset file turns the
   run into an R ⋈ S join (native side-aware path for the randomized
   algorithms): the reported pairs are (left index, right index).
+* ``repro-join index`` — the build-once/query-many workflow: ``index build``
+  constructs a :class:`repro.index.SimilarityIndex` over a dataset file and
+  pickles it; ``index query`` loads the pickle and runs point lookups from a
+  query file (optionally inserting each query afterwards, the streaming
+  deduplication shape).
 * ``repro-join generate`` — generate one of the surrogate datasets (or a
   synthetic TOKENS / UNIFORM / ZIPF collection) and write it in the same
   format.
@@ -15,12 +20,14 @@ Python:
 * ``repro-join experiment`` — run one of the paper's experiments by name
   (``table1``, ``table2``, ``figure2``, ``figure3``, ``table4``,
   ``tokens``, ``ablation-stopping``, ``ablation-sketches``,
-  ``backend-bench``, ``rs-bench``).
+  ``backend-bench``, ``rs-bench``, ``index-bench``).
 
 Examples::
 
     repro-join generate NETFLIX --scale 0.3 --out netflix.txt
     repro-join join netflix.txt --threshold 0.7 --algorithm cpsjoin --out pairs.csv
+    repro-join index build netflix.txt --threshold 0.7 --out netflix.index.pkl
+    repro-join index query netflix.index.pkl queries.txt --out matches.csv
     repro-join stats netflix.txt
     repro-join experiment figure2 --scale 0.2
 """
@@ -73,6 +80,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     join_parser.add_argument("--out", type=str, default=None, help="write pairs as CSV to this path (default stdout)")
 
+    index_parser = subparsers.add_parser(
+        "index", help="build a persistent SimilarityIndex / run point lookups against one"
+    )
+    index_subparsers = index_parser.add_subparsers(dest="index_command", required=True)
+
+    index_build = index_subparsers.add_parser(
+        "build", help="build a SimilarityIndex over a dataset file and pickle it"
+    )
+    index_build.add_argument("input", type=str, help="dataset file (one record per line of integer tokens)")
+    index_build.add_argument("--out", type=str, required=True, help="output pickle path")
+    index_build.add_argument("--threshold", type=float, default=0.5, help="Jaccard threshold (default 0.5)")
+    index_build.add_argument(
+        "--candidates",
+        choices=["exact", "chosenpath", "lsh"],
+        default="exact",
+        help="candidate structure: exact inverted index (query results match an exact "
+        "batch join) or an approximate chosen-path / LSH structure",
+    )
+    index_build.add_argument(
+        "--backend",
+        choices=["python", "numpy"],
+        default=None,
+        help="verification backend for queries (default python)",
+    )
+    index_build.add_argument("--seed", type=int, default=None, help="seed for the index hashing")
+
+    index_query = index_subparsers.add_parser(
+        "query", help="run point lookups from a query file against a pickled index"
+    )
+    index_query.add_argument("index", type=str, help="pickled index produced by `index build`")
+    index_query.add_argument("queries", type=str, help="query dataset file (same token-set format)")
+    index_query.add_argument(
+        "--insert",
+        action="store_true",
+        help="insert each query record into the index after querying it (streaming "
+        "dedup shape) and rewrite the pickle afterwards",
+    )
+    index_query.add_argument(
+        "--out", type=str, default=None, help="write matches as CSV to this path (default stdout)"
+    )
+
     generate_parser = subparsers.add_parser("generate", help="generate a surrogate or synthetic dataset")
     generate_parser.add_argument("name", type=str, help="profile name, e.g. NETFLIX, AOL, TOKENS10K, UNIFORM005")
     generate_parser.add_argument("--scale", type=float, default=1.0)
@@ -96,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
             "ablation-sketches",
             "backend-bench",
             "rs-bench",
+            "index-bench",
         ],
     )
     experiment_parser.add_argument("--scale", type=float, default=0.3)
@@ -149,6 +198,77 @@ def _command_join(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_index(args: argparse.Namespace) -> int:
+    import pickle
+
+    from repro.index import SimilarityIndex
+
+    if args.index_command == "build":
+        dataset = read_dataset(args.input)
+        index = SimilarityIndex.build(
+            dataset.records,
+            args.threshold,
+            candidates=args.candidates,
+            backend=args.backend,
+            seed=args.seed,
+        )
+        with open(args.out, "wb") as handle:
+            pickle.dump(index, handle)
+        print(
+            f"indexed {len(index)} records at threshold {index.threshold} "
+            f"({index.candidates} candidates, {index.backend} backend) in "
+            f"{index.stats.index_build_seconds:.3f}s -> {args.out}"
+        )
+        return 0
+
+    # index query
+    with open(args.index, "rb") as handle:
+        index = pickle.load(handle)
+    if not isinstance(index, SimilarityIndex):
+        raise SystemExit(f"{args.index} does not contain a SimilarityIndex pickle")
+    queries = read_dataset(args.queries)
+    # A loaded index carries the stats of every previous session; report the
+    # timing of *this* run as deltas against the loaded snapshot.
+    loaded = index.stats
+    before = (loaded.candidate_seconds, loaded.filter_seconds, loaded.verify_seconds)
+    rows = []
+    if args.insert:
+        # Streaming shape: each query must see the records inserted before it,
+        # so queries and inserts interleave per record.
+        for query_id, record in enumerate(queries.records):
+            for record_id, similarity in index.query(record):
+                rows.append(
+                    {"query": query_id, "match": record_id, "similarity": f"{similarity:.6f}"}
+                )
+            index.insert(record)
+    else:
+        for query_id, matches in enumerate(index.query_batch(queries.records)):
+            for record_id, similarity in matches:
+                rows.append(
+                    {"query": query_id, "match": record_id, "similarity": f"{similarity:.6f}"}
+                )
+    csv_text = rows_to_csv(rows, columns=["query", "match", "similarity"])
+    if args.out:
+        Path(args.out).write_text(csv_text, encoding="utf-8")
+    else:
+        sys.stdout.write(csv_text)
+    if args.insert:
+        with open(args.index, "wb") as handle:
+            pickle.dump(index, handle)
+    stats = index.stats
+    candidate = stats.candidate_seconds - before[0]
+    filtering = stats.filter_seconds - before[1]
+    verify = stats.verify_seconds - before[2]
+    print(
+        f"# {len(queries.records)} queries, {len(rows)} matches, "
+        f"{candidate + filtering + verify:.3f}s query time "
+        f"(candidate {candidate:.3f}s / filter {filtering:.3f}s / verify {verify:.3f}s)"
+        + (f"; index grown to {len(index)} records" if args.insert else ""),
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     dataset = generate_profile_dataset(args.name, scale=args.scale, seed=args.seed)
     write_dataset(dataset, args.out)
@@ -181,6 +301,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         backend_bench,
         figure2,
         figure3,
+        index_bench,
         rs_bench,
         table1,
         table2,
@@ -212,6 +333,8 @@ def _command_experiment(args: argparse.Namespace) -> int:
         print(format_table(backend_bench.run(scale=args.scale, seed=args.seed)))
     elif name == "rs-bench":
         print(format_table(rs_bench.run(scale=args.scale, seed=args.seed)))
+    elif name == "index-bench":
+        print(format_table(index_bench.run(scale=args.scale, seed=args.seed)))
     return 0
 
 
@@ -221,6 +344,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "join":
         return _command_join(args)
+    if args.command == "index":
+        return _command_index(args)
     if args.command == "generate":
         return _command_generate(args)
     if args.command == "stats":

@@ -15,7 +15,16 @@ Chosen Path Tree:
   the MinHash embedding and groups records by their MinHash value on each
   sampled coordinate; each non-trivial bucket becomes a recursive subproblem.
 
-For the ablation of Section IV-C.5 the engine also implements the ``global``
+Execution is staged through the shared :class:`repro.engine.JoinEngine`: the
+recursion here is only the **candidate stage** — it decides *which* subsets
+get brute-forced and yields them as tasks
+(:class:`~repro.engine.stages.SubsetCandidates` /
+:class:`~repro.engine.stages.PointCandidates`); the engine runs the dedup,
+sketch-filter and verify stages in memory-bounded batches.  Verification
+never feeds back into the recursion and consumes no randomness, so the
+staged run is bit-for-bit identical to the historical fused loop.
+
+For the ablation of Section IV-C.5 the stage also implements the ``global``
 and ``individual`` stopping strategies, which replace the adaptive rule with a
 fixed recursion depth (one global depth, or one depth per record estimated
 from its average similarity to the collection).
@@ -29,16 +38,159 @@ recall.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.bruteforce import BruteForcer
 from repro.core.config import CPSJoinConfig
 from repro.core.preprocess import PreprocessedCollection, preprocess_collection
+from repro.engine import CandidateStage, JoinEngine, PointCandidates, SubsetCandidates, Task
 from repro.result import JoinResult, JoinStats, Timer
 
-__all__ = ["CPSJoin", "cpsjoin"]
+__all__ = ["CPSJoin", "ChosenPathCandidateStage", "cpsjoin"]
+
+_SEED_STREAM = 7919
+"""Odd multiplier deriving per-repetition seeds (kept from the seed impl)."""
+
+
+class ChosenPathCandidateStage(CandidateStage):
+    """Candidate stage of CPSJOIN: the Chosen Path Tree recursion.
+
+    Walks the recursion exactly as the historical driver did — same
+    randomness consumption, same statistics counters — but *yields* the
+    subproblems to brute-force instead of verifying them inline.
+    """
+
+    def __init__(
+        self,
+        join: "CPSJoin",
+        collection: PreprocessedCollection,
+        engine: JoinEngine,
+        rng: np.random.Generator,
+        stats: JoinStats,
+    ) -> None:
+        self.join = join
+        self.collection = collection
+        self.rng = rng
+        self.stats = stats
+        # The estimator drives the adaptive rule; it shares the engine's
+        # backend instance so token packing happens once per collection.
+        self.estimator = BruteForcer(
+            collection,
+            join.threshold,
+            stats,
+            use_sketches=join.config.use_sketches,
+            sketch_false_negative_rate=join.config.sketch_false_negative_rate,
+            rng=rng,
+            backend=engine.backend,
+        )
+
+    # ------------------------------------------------------------------ entry
+    def tasks(self) -> Iterator[Task]:
+        config = self.join.config
+        all_records = list(range(self.collection.num_records))
+        if config.stopping == "adaptive":
+            yield from self._adaptive(all_records, 0)
+        elif config.stopping == "global":
+            depth = self.join._global_depth(self.collection.num_records)
+            yield from self._fixed_depth(all_records, 0, depth)
+        else:  # individual
+            depth_values = self.join._individual_depths(all_records, self.estimator)
+            depths = {record_id: int(depth) for record_id, depth in zip(all_records, depth_values)}
+            yield from self._individual(all_records, 0, depths)
+
+    # ------------------------------------------------------------------ node bookkeeping
+    def _enter_node(self, depth: int) -> None:
+        extra = self.stats.extra
+        extra["tree_nodes"] = extra.get("tree_nodes", 0.0) + 1.0
+        extra["max_depth"] = max(extra.get("max_depth", 0.0), float(depth))
+
+    # ------------------------------------------------------------------ adaptive strategy (the paper's)
+    def _adaptive(self, subset: List[int], depth: int) -> Iterator[Task]:
+        """One node of the Chosen Path Tree under the adaptive stopping rule."""
+        self._enter_node(depth)
+        subset = yield from self._brute_force_step(subset)
+        if len(subset) < 2:
+            return
+        if depth >= self.join.config.max_depth:
+            # Safety net: the analysis bounds the depth by O(log n / ε) w.h.p.;
+            # finish any unexpectedly deep branch exactly.
+            yield SubsetCandidates(tuple(subset))
+            return
+        for bucket in self.join._split(subset, self.collection, self.rng):
+            yield from self._adaptive(bucket, depth + 1)
+
+    def _brute_force_step(self, subset: List[int]) -> Iterator[Task]:
+        """The BRUTEFORCE step (Algorithm 2): returns the records that keep branching.
+
+        Small subproblems are finished exactly (returning an empty list stops
+        the recursion).  In larger subproblems every record whose estimated
+        average similarity to the rest exceeds ``(1 - ε) λ`` is compared to the
+        whole subproblem and removed.  As in the paper's implementation the
+        check is evaluated once per node for all records rather than re-running
+        after each removal.
+        """
+        join = self.join
+        stats = self.stats
+        if len(subset) <= join.config.limit:
+            yield SubsetCandidates(tuple(subset))
+            stats.extra["bruteforce_pairs_calls"] = stats.extra.get("bruteforce_pairs_calls", 0.0) + 1.0
+            return []
+
+        averages = self.estimator.average_similarities(subset, method=join.config.average_method)
+        cutoff = (1.0 - join.config.epsilon) * join.threshold
+        to_remove = [record_id for record_id, average in zip(subset, averages) if average > cutoff]
+        if to_remove:
+            stats.extra["bruteforce_point_calls"] = stats.extra.get("bruteforce_point_calls", 0.0) + float(len(to_remove))
+            removed_set = set(to_remove)
+            for record_id in to_remove:
+                others = tuple(other for other in subset if other != record_id)
+                if others:
+                    yield PointCandidates(record_id, others)
+            subset = [record_id for record_id in subset if record_id not in removed_set]
+            # Removing records may push the subproblem below the brute-force
+            # limit; Algorithm 2 re-runs itself on the reduced set.
+            if len(subset) <= join.config.limit:
+                yield SubsetCandidates(tuple(subset))
+                stats.extra["bruteforce_pairs_calls"] = stats.extra.get("bruteforce_pairs_calls", 0.0) + 1.0
+                return []
+        return subset
+
+    # ------------------------------------------------------------------ ablation strategies
+    def _fixed_depth(self, subset: List[int], depth: int, stop_depth: int) -> Iterator[Task]:
+        """Classic LSH-style recursion: split until a fixed depth, then brute force."""
+        self._enter_node(depth)
+        if len(subset) < 2:
+            return
+        if depth >= stop_depth or len(subset) <= self.join.config.limit:
+            yield SubsetCandidates(tuple(subset))
+            return
+        for bucket in self.join._split(subset, self.collection, self.rng):
+            yield from self._fixed_depth(bucket, depth + 1, stop_depth)
+
+    def _individual(self, subset: List[int], depth: int, depths: Dict[int, int]) -> Iterator[Task]:
+        """Per-record fixed-depth recursion (the ``individual`` strategy)."""
+        self._enter_node(depth)
+        if len(subset) < 2:
+            return
+        if len(subset) <= self.join.config.limit or depth >= self.join.config.max_depth:
+            yield SubsetCandidates(tuple(subset))
+            return
+        # Records whose individual depth has been reached are brute-forced
+        # against the subproblem and removed before splitting.
+        expiring = [record_id for record_id in subset if depths.get(record_id, 0) <= depth]
+        if expiring:
+            for record_id in expiring:
+                others = tuple(other for other in subset if other != record_id)
+                if others:
+                    yield PointCandidates(record_id, others)
+            expiring_set = set(expiring)
+            subset = [record_id for record_id in subset if record_id not in expiring_set]
+            if len(subset) < 2:
+                return
+        for bucket in self.join._split(subset, self.collection, self.rng):
+            yield from self._individual(bucket, depth + 1, depths)
 
 
 class CPSJoin:
@@ -51,6 +203,8 @@ class CPSJoin:
     config:
         Algorithm parameters; see :class:`repro.core.config.CPSJoinConfig`.
     """
+
+    algorithm_name = "CPSJOIN"
 
     def __init__(self, threshold: float, config: Optional[CPSJoinConfig] = None) -> None:
         if not 0.0 < threshold < 1.0:
@@ -67,9 +221,9 @@ class CPSJoin:
         """Preprocess ``records`` and run the configured number of repetitions.
 
         ``sides`` (0 = R, 1 = S, one entry per record) turns the run into a
-        native R ⋈ S join: the recursion is unchanged, but the brute-force
-        kernels skip same-side comparisons entirely, so only cross-side pairs
-        are counted, verified, and reported.
+        native R ⋈ S join: the recursion is unchanged, but the engine's
+        filter stage skips same-side comparisons entirely, so only cross-side
+        pairs are counted, verified, and reported.
         """
         collection = preprocess_collection(
             records,
@@ -93,108 +247,27 @@ class CPSJoin:
         return engine.run_fixed(self.config.repetitions)
 
     def run_once(self, collection: PreprocessedCollection, repetition: int = 0) -> JoinResult:
-        """Run a single repetition of CPSJOIN on a preprocessed collection."""
-        seed = None if self.config.seed is None else self.config.seed * 7919 + repetition
-        rng = np.random.default_rng(seed)
+        """Run a single repetition of CPSJOIN through the staged join engine."""
+        rng = JoinEngine.repetition_rng(self.config.seed, repetition, stream=_SEED_STREAM)
         stats = JoinStats(
-            algorithm="CPSJOIN",
+            algorithm=self.algorithm_name,
             threshold=self.threshold,
             num_records=collection.num_records,
             repetitions=1,
         )
-        brute_forcer = BruteForcer(
+        engine = JoinEngine(
             collection,
             self.threshold,
-            stats,
+            backend=self.config.backend,
             use_sketches=self.config.use_sketches,
             sketch_false_negative_rate=self.config.sketch_false_negative_rate,
-            rng=rng,
-            backend=self.config.backend,
         )
-        pairs: Set[Tuple[int, int]] = set()
-        all_records = list(range(collection.num_records))
-
+        stage = ChosenPathCandidateStage(self, collection, engine, rng, stats)
         with Timer() as timer:
-            if self.config.stopping == "adaptive":
-                self._recurse_adaptive(all_records, 0, collection, brute_forcer, rng, pairs, stats)
-            elif self.config.stopping == "global":
-                depth = self._global_depth(collection.num_records)
-                self._recurse_fixed_depth(all_records, 0, depth, collection, brute_forcer, rng, pairs, stats)
-            else:  # individual
-                depth_values = self._individual_depths(all_records, brute_forcer)
-                depths = {record_id: int(depth) for record_id, depth in zip(all_records, depth_values)}
-                self._recurse_individual(all_records, 0, depths, collection, brute_forcer, rng, pairs, stats)
-
+            pairs = engine.execute(stage, stats)
         stats.results = len(pairs)
         stats.elapsed_seconds = timer.elapsed
         return JoinResult(pairs=pairs, stats=stats)
-
-    # ------------------------------------------------------------------ adaptive strategy (the paper's)
-    def _recurse_adaptive(
-        self,
-        subset: List[int],
-        depth: int,
-        collection: PreprocessedCollection,
-        brute_forcer: BruteForcer,
-        rng: np.random.Generator,
-        pairs: Set[Tuple[int, int]],
-        stats: JoinStats,
-    ) -> None:
-        """One node of the Chosen Path Tree under the adaptive stopping rule."""
-        stats.extra["tree_nodes"] = stats.extra.get("tree_nodes", 0.0) + 1.0
-        stats.extra["max_depth"] = max(stats.extra.get("max_depth", 0.0), float(depth))
-
-        subset = self._brute_force_step(subset, collection, brute_forcer, pairs, stats)
-        if len(subset) < 2:
-            return
-        if depth >= self.config.max_depth:
-            # Safety net: the analysis bounds the depth by O(log n / ε) w.h.p.;
-            # finish any unexpectedly deep branch exactly.
-            brute_forcer.pairs(subset, pairs)
-            return
-        for bucket in self._split(subset, collection, rng):
-            self._recurse_adaptive(bucket, depth + 1, collection, brute_forcer, rng, pairs, stats)
-
-    def _brute_force_step(
-        self,
-        subset: List[int],
-        collection: PreprocessedCollection,
-        brute_forcer: BruteForcer,
-        pairs: Set[Tuple[int, int]],
-        stats: JoinStats,
-    ) -> List[int]:
-        """The BRUTEFORCE step (Algorithm 2): returns the records that keep branching.
-
-        Small subproblems are finished exactly (returning an empty list stops
-        the recursion).  In larger subproblems every record whose estimated
-        average similarity to the rest exceeds ``(1 - ε) λ`` is compared to the
-        whole subproblem and removed.  As in the paper's implementation the
-        check is evaluated once per node for all records rather than re-running
-        after each removal.
-        """
-        if len(subset) <= self.config.limit:
-            brute_forcer.pairs(subset, pairs)
-            stats.extra["bruteforce_pairs_calls"] = stats.extra.get("bruteforce_pairs_calls", 0.0) + 1.0
-            return []
-
-        averages = brute_forcer.average_similarities(
-            subset, method=self.config.average_method
-        )
-        cutoff = (1.0 - self.config.epsilon) * self.threshold
-        to_remove = [record_id for record_id, average in zip(subset, averages) if average > cutoff]
-        if to_remove:
-            stats.extra["bruteforce_point_calls"] = stats.extra.get("bruteforce_point_calls", 0.0) + float(len(to_remove))
-            removed_set = set(to_remove)
-            for record_id in to_remove:
-                brute_forcer.point(subset, record_id, pairs)
-            subset = [record_id for record_id in subset if record_id not in removed_set]
-            # Removing records may push the subproblem below the brute-force
-            # limit; Algorithm 2 re-runs itself on the reduced set.
-            if len(subset) <= self.config.limit:
-                brute_forcer.pairs(subset, pairs)
-                stats.extra["bruteforce_pairs_calls"] = stats.extra.get("bruteforce_pairs_calls", 0.0) + 1.0
-                return []
-        return subset
 
     # ------------------------------------------------------------------ splitting step
     def _split(
@@ -242,7 +315,7 @@ class CPSJoin:
                     buckets.append(members.tolist())
         return buckets
 
-    # ------------------------------------------------------------------ ablation strategies
+    # ------------------------------------------------------------------ ablation helpers
     def _global_depth(self, num_records: int) -> int:
         """Fixed tree depth for the ``global`` stopping strategy.
 
@@ -254,28 +327,6 @@ class CPSJoin:
         if self.config.global_depth is not None:
             return self.config.global_depth
         return max(1, math.ceil(math.log(max(2, num_records)) / math.log(1.0 / self.threshold)))
-
-    def _recurse_fixed_depth(
-        self,
-        subset: List[int],
-        depth: int,
-        stop_depth: int,
-        collection: PreprocessedCollection,
-        brute_forcer: BruteForcer,
-        rng: np.random.Generator,
-        pairs: Set[Tuple[int, int]],
-        stats: JoinStats,
-    ) -> None:
-        """Classic LSH-style recursion: split until a fixed depth, then brute force."""
-        stats.extra["tree_nodes"] = stats.extra.get("tree_nodes", 0.0) + 1.0
-        stats.extra["max_depth"] = max(stats.extra.get("max_depth", 0.0), float(depth))
-        if len(subset) < 2:
-            return
-        if depth >= stop_depth or len(subset) <= self.config.limit:
-            brute_forcer.pairs(subset, pairs)
-            return
-        for bucket in self._split(subset, collection, rng):
-            self._recurse_fixed_depth(bucket, depth + 1, stop_depth, collection, brute_forcer, rng, pairs, stats)
 
     def _individual_depths(self, subset: List[int], brute_forcer: BruteForcer) -> np.ndarray:
         """Per-record stopping depths for the ``individual`` strategy.
@@ -299,38 +350,6 @@ class CPSJoin:
                 1, int(math.ceil(math.log(num_records) / math.log(self.threshold / average)))
             )
         return depths
-
-    def _recurse_individual(
-        self,
-        subset: List[int],
-        depth: int,
-        depths: Dict[int, int],
-        collection: PreprocessedCollection,
-        brute_forcer: BruteForcer,
-        rng: np.random.Generator,
-        pairs: Set[Tuple[int, int]],
-        stats: JoinStats,
-    ) -> None:
-        """Per-record fixed-depth recursion (the ``individual`` strategy)."""
-        stats.extra["tree_nodes"] = stats.extra.get("tree_nodes", 0.0) + 1.0
-        stats.extra["max_depth"] = max(stats.extra.get("max_depth", 0.0), float(depth))
-        if len(subset) < 2:
-            return
-        if len(subset) <= self.config.limit or depth >= self.config.max_depth:
-            brute_forcer.pairs(subset, pairs)
-            return
-        # Records whose individual depth has been reached are brute-forced
-        # against the subproblem and removed before splitting.
-        expiring = [record_id for record_id in subset if depths.get(record_id, 0) <= depth]
-        if expiring:
-            for record_id in expiring:
-                brute_forcer.point(subset, record_id, pairs)
-            expiring_set = set(expiring)
-            subset = [record_id for record_id in subset if record_id not in expiring_set]
-            if len(subset) < 2:
-                return
-        for bucket in self._split(subset, collection, rng):
-            self._recurse_individual(bucket, depth + 1, depths, collection, brute_forcer, rng, pairs, stats)
 
     def run_once_individual(self, collection: PreprocessedCollection, repetition: int = 0) -> JoinResult:
         """Convenience entry point used by the stopping-strategy ablation."""

@@ -12,6 +12,13 @@ them on a pool of parallel workers (:mod:`concurrent.futures`) and still
 produce results that are bit-for-bit identical to a sequential run: results
 are always merged in repetition order, regardless of completion order.
 
+Each repetition runs through the shared staged pipeline of
+:class:`repro.engine.JoinEngine` (the engines' ``run_once`` dispatches
+there), so merged statistics carry the per-stage timing split: the
+``candidate_seconds`` / ``filter_seconds`` / ``verify_seconds`` fields sum
+worker-side stage times across repetitions, exactly like
+``worker_seconds``.
+
 Timing is reported honestly under parallelism: ``JoinStats.elapsed_seconds``
 is the wall-clock time of the whole join while ``JoinStats.worker_seconds``
 sums the time the individual repetitions measured for themselves (the two
@@ -114,7 +121,7 @@ class RepetitionEngine:
 
     def _fresh_stats(self) -> JoinStats:
         return JoinStats(
-            algorithm="CPSJOIN",
+            algorithm=getattr(self.engine, "algorithm_name", "CPSJOIN"),
             threshold=self.engine.threshold,
             num_records=self.collection.num_records,
             repetitions=0,

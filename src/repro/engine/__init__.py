@@ -1,0 +1,39 @@
+"""Shared staged execution pipeline for every join algorithm.
+
+Historically CPSJOIN, MinHash LSH and BayesLSH each hand-rolled their own
+candidate → filter → verify driver.  This package decomposes every algorithm
+into four explicit stages driven by one :class:`JoinEngine`:
+
+``CandidateStage`` → ``DedupStage`` → ``SketchFilterStage`` → ``VerifyStage``
+
+The engine owns seeding, statistics accounting (including the per-stage
+timing split reported in :class:`repro.result.JoinStats`), R ⋈ S
+side-masking, and memory-bounded batch execution; the algorithms shrink to
+candidate-stage definitions living next to their policy code.  The
+:class:`repro.index.SimilarityIndex` builds its build-once/query-many path
+on the same stage kernels.
+"""
+
+from repro.engine.engine import JoinEngine
+from repro.engine.stages import (
+    CandidateStage,
+    DedupStage,
+    PairCandidates,
+    PointCandidates,
+    SketchFilterStage,
+    SubsetCandidates,
+    Task,
+    VerifyStage,
+)
+
+__all__ = [
+    "JoinEngine",
+    "CandidateStage",
+    "DedupStage",
+    "PairCandidates",
+    "PointCandidates",
+    "SketchFilterStage",
+    "SubsetCandidates",
+    "Task",
+    "VerifyStage",
+]

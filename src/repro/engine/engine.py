@@ -1,0 +1,206 @@
+"""The shared staged join engine.
+
+One driver executes every join algorithm in the repository.  An algorithm
+contributes a :class:`~repro.engine.stages.CandidateStage` (all of its
+randomness and policy) and optionally a custom filter stage; the engine owns
+everything the three historical drivers used to hand-roll separately:
+
+* **seeding** — :meth:`JoinEngine.repetition_rng` derives the per-repetition
+  generator from ``(seed, stream, repetition)``, the scheme every algorithm
+  shares;
+* **stats accounting** — pre-candidate / candidate / verified counters and
+  the per-stage wall-clock split (``candidate_seconds`` / ``filter_seconds``
+  / ``verify_seconds`` on :class:`repro.result.JoinStats`);
+* **side-masking** — R ⋈ S side labels travel with the preprocessed
+  collection into the backend filter kernels, so same-side pairs are dropped
+  before any counting regardless of the algorithm;
+* **memory-bounded batching** — tasks are drained from the candidate stage
+  and flushed through filter + verify whenever the accumulated candidate
+  count reaches ``batch_budget``, so the engine never materializes more than
+  one batch of survivor arrays at a time.
+
+Because candidate generation is the only randomized stage and verification
+never feeds back into it, the staged execution is bit-for-bit equivalent to
+the historical fused loops: identical result pairs, identical counters.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.backend import ExecutionBackend, make_backend
+from repro.core.preprocess import PreprocessedCollection
+from repro.engine.stages import (
+    CandidateStage,
+    DedupStage,
+    PairCandidates,
+    PointCandidates,
+    SketchFilterStage,
+    SubsetCandidates,
+    VerifyStage,
+)
+from repro.hashing.sketch import sketch_similarity_threshold
+from repro.result import JoinStats
+
+__all__ = ["JoinEngine"]
+
+Pair = Tuple[int, int]
+
+
+class JoinEngine:
+    """Drives candidate → dedup → filter → verify over one collection.
+
+    Parameters
+    ----------
+    collection:
+        The preprocessed records the join runs over (carries the R ⋈ S side
+        labels, if any).
+    threshold:
+        Jaccard threshold ``λ``.
+    backend:
+        Execution backend name (``"python"`` / ``"numpy"``) or instance.
+    use_sketches / sketch_false_negative_rate:
+        Configuration of the default :class:`SketchFilterStage` (``δ``
+        determines the estimator cut-off ``λ̂``).
+    batch_budget:
+        Maximum number of pre-filter candidate pairs accumulated before a
+        batch is flushed through the filter and verify stages (bounds the
+        engine's working memory).
+    """
+
+    DEFAULT_BATCH_BUDGET = 1 << 16
+
+    def __init__(
+        self,
+        collection: PreprocessedCollection,
+        threshold: float,
+        backend=None,
+        use_sketches: bool = True,
+        sketch_false_negative_rate: float = 0.05,
+        batch_budget: int = DEFAULT_BATCH_BUDGET,
+    ) -> None:
+        if batch_budget < 1:
+            raise ValueError("batch_budget must be positive")
+        self.collection = collection
+        self.threshold = threshold
+        self.backend: ExecutionBackend = make_backend(backend, collection, threshold)
+        self.use_sketches = use_sketches
+        self.sketch_cutoff = sketch_similarity_threshold(
+            threshold, collection.sketches.num_bits, sketch_false_negative_rate
+        )
+        self.batch_budget = batch_budget
+        self.verify_stage = VerifyStage(self.backend)
+
+    # ------------------------------------------------------------------ seeding
+    @staticmethod
+    def repetition_rng(
+        seed: Optional[int], repetition: int = 0, stream: int = 1
+    ) -> np.random.Generator:
+        """Per-repetition generator: ``default_rng(seed * stream + repetition)``.
+
+        ``stream`` is an algorithm-specific odd multiplier keeping the
+        repetition streams of different algorithms disjoint at equal seeds;
+        ``seed=None`` yields OS entropy, as everywhere else in the library.
+        """
+        return np.random.default_rng(None if seed is None else seed * stream + repetition)
+
+    def default_filter_stage(self) -> SketchFilterStage:
+        """The standard size-probe + ``λ̂``-cut-off sketch filter stage."""
+        return SketchFilterStage(self.backend, self.use_sketches, self.sketch_cutoff)
+
+    # ------------------------------------------------------------------ execution
+    def execute(
+        self,
+        candidates: CandidateStage,
+        stats: JoinStats,
+        filter_stage: Optional[SketchFilterStage] = None,
+        dedup: Optional[DedupStage] = None,
+    ) -> Set[Pair]:
+        """Run the full pipeline; returns the verified result pair set.
+
+        Counters and the per-stage timing split are accumulated into
+        ``stats`` in place.  The candidate stage is consumed lazily: time
+        spent producing tasks (including all recursion and bucketing work)
+        lands in ``candidate_seconds``, the filter and verify stages are
+        timed per flushed batch.
+        """
+        filter_stage = filter_stage if filter_stage is not None else self.default_filter_stage()
+        dedup = dedup if dedup is not None else DedupStage()
+
+        pending: List = []
+        pending_cost = 0
+        generator = candidates.tasks()
+        while True:
+            started = time.perf_counter()
+            task = next(generator, None)
+            stats.candidate_seconds += time.perf_counter() - started
+            if task is None:
+                break
+            pending.append(task)
+            pending_cost += task.cost
+            if pending_cost >= self.batch_budget:
+                self._flush(pending, stats, filter_stage, dedup)
+                pending = []
+                pending_cost = 0
+        if pending:
+            self._flush(pending, stats, filter_stage, dedup)
+        return dedup.result
+
+    def _flush(
+        self,
+        tasks: List,
+        stats: JoinStats,
+        filter_stage: SketchFilterStage,
+        dedup: DedupStage,
+    ) -> None:
+        """Filter one task batch, then verify the concatenated survivors."""
+        started = time.perf_counter()
+        surviving_firsts: List[np.ndarray] = []
+        surviving_seconds: List[np.ndarray] = []
+        for task in tasks:
+            if isinstance(task, SubsetCandidates):
+                pre, firsts, seconds = filter_stage.filter_subset(list(task.subset))
+                stats.pre_candidates += pre
+            elif isinstance(task, PointCandidates):
+                pre, firsts, seconds = filter_stage.filter_point(task.anchor, task.others)
+                stats.pre_candidates += pre
+            elif isinstance(task, PairCandidates):
+                # Raw emissions were counted by the producer; dedup here.
+                fresh = dedup.unique_candidates(task.pairs)
+                if not fresh:
+                    continue
+                pairs_array = np.asarray(fresh, dtype=np.intp)
+                firsts, seconds = pairs_array[:, 0], pairs_array[:, 1]
+                # Side mask is an engine invariant, not producer discipline:
+                # in a side-aware collection same-side pairs are dropped
+                # before any filter sees them, whatever the candidate stage
+                # emitted.
+                sides = self.backend.sides
+                if sides is not None:
+                    cross = sides[firsts] != sides[seconds]
+                    firsts, seconds = firsts[cross], seconds[cross]
+                    if firsts.size == 0:
+                        continue
+                firsts, seconds = filter_stage.filter_pairs(firsts, seconds)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown candidate task {task!r}")
+            if firsts.size:
+                surviving_firsts.append(firsts)
+                surviving_seconds.append(seconds)
+        if surviving_firsts:
+            firsts = np.concatenate(surviving_firsts)
+            seconds = np.concatenate(surviving_seconds)
+        else:
+            firsts = seconds = np.zeros(0, dtype=np.intp)
+        stats.candidates += int(firsts.size)
+        stats.verified += int(firsts.size)
+        stats.filter_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        if firsts.size:
+            mask = self.verify_stage.verify(firsts, seconds)
+            dedup.accept(firsts, seconds, mask)
+        stats.verify_seconds += time.perf_counter() - started

@@ -22,6 +22,7 @@ Stopping-strategy argument      :mod:`repro.experiments.ablation_stopping`
 Sketching design choice         :mod:`repro.experiments.ablation_sketches`
 Backend micro-benchmark         :mod:`repro.experiments.backend_bench`
 R ⋈ S extension (Section IV)    :mod:`repro.experiments.rs_bench`
+Index serving extension         :mod:`repro.experiments.index_bench`
 ==============================  =======================================
 """
 
@@ -36,4 +37,5 @@ __all__ = [
     "ablation_sketches",
     "backend_bench",
     "rs_bench",
+    "index_bench",
 ]

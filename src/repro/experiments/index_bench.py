@@ -1,0 +1,150 @@
+"""Micro-benchmark: build-once/query-many vs repeated batch re-joins.
+
+The scenario every serving deployment cares about: a reference collection is
+known up front and batches of new records keep arriving; each new record
+must be matched against everything seen so far.  Two ways to run it:
+
+* **index** — build a :class:`repro.index.SimilarityIndex` over the base
+  collection once, then stream each arriving record through
+  ``query`` + ``insert`` (incremental, no rebuild).  The index runs in
+  ``"exact"`` mode, so it reports *every* qualifying pair touching a new
+  record.
+* **re-join** — the only option before the index existed: after each batch
+  arrives, re-run the batch join (CPSJOIN on the numpy backend, the
+  repository's fastest batch engine, at its default ten repetitions) over
+  the whole accumulated collection and keep the pairs touching the batch.
+
+CPSJOIN verifies every reported pair exactly (precision 1) while the exact
+index misses nothing, so the benchmark asserts the re-join pairs are a
+subset of the index pairs — the index path is never *worse* than the
+baseline on quality while the comparison measures raw wall-clock.  The
+speedup comes from incrementality: the re-join baseline re-processes the
+entire history on every batch, the index only touches the new records.
+
+Run as a module (``python -m repro.experiments.index_bench``), through the
+CLI (``repro-join experiment index-bench``), or via
+``scripts/run_experiments.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import CPSJoinConfig
+from repro.datasets.profiles import generate_profile_dataset
+from repro.experiments.common import format_table, make_parser
+from repro.index import SimilarityIndex
+from repro.join import similarity_join
+from repro.result import canonical_pair
+
+__all__ = ["run", "main", "BENCH_WORKLOADS"]
+
+Pair = Tuple[int, int]
+
+BENCH_WORKLOADS: Tuple[Tuple[str, float], ...] = (
+    # (profile name, scale factor producing ~10k records at scale=1.0 here)
+    ("UNIFORM005", 4.0),
+    ("NETFLIX", 10.0),
+)
+"""Workloads of the index micro-benchmark (10k records at ``scale=1.0``)."""
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 42,
+    threshold: float = 0.5,
+    num_batches: int = 5,
+    backend: str = "numpy",
+    workloads: Optional[Sequence[Tuple[str, float]]] = None,
+) -> List[Dict[str, object]]:
+    """Compare streaming index queries against repeated batch re-joins.
+
+    ``scale`` multiplies the per-workload scale factors, so ``scale=1.0``
+    benchmarks the full 10k-record collections and smaller values produce
+    quick smoke runs.  The last ``num_batches`` slices of each dataset play
+    the role of arriving batches; everything before them is the base
+    collection.
+    """
+    rows: List[Dict[str, object]] = []
+    for name, base_scale in workloads if workloads is not None else BENCH_WORKLOADS:
+        dataset = generate_profile_dataset(name, scale=base_scale * scale, seed=seed)
+        records = dataset.records
+        batch_size = max(1, len(records) // 20)
+        base_count = max(1, len(records) - num_batches * batch_size)
+        base = records[:base_count]
+        batches = [
+            records[base_count + index * batch_size : base_count + (index + 1) * batch_size]
+            for index in range(num_batches)
+        ]
+        batches = [batch for batch in batches if batch]
+
+        # ---- index path: build once, then stream query + insert per record.
+        started = time.perf_counter()
+        index = SimilarityIndex.build(base, threshold, backend=backend, seed=seed)
+        build_seconds = time.perf_counter() - started
+
+        index_pairs: Set[Pair] = set()
+        total_queries = 0
+        started = time.perf_counter()
+        for batch in batches:
+            for record in batch:
+                for match_id, _ in index.query(record):
+                    index_pairs.add(canonical_pair(len(index), match_id))
+                index.insert(record)
+                total_queries += 1
+        index_seconds = time.perf_counter() - started
+
+        # ---- re-join path: full batch join over the history after each batch.
+        rejoin_pairs: Set[Pair] = set()
+        history = list(base)
+        started = time.perf_counter()
+        for batch in batches:
+            split = len(history)
+            history.extend(batch)
+            result = similarity_join(
+                history,
+                threshold,
+                algorithm="cpsjoin",
+                config=CPSJoinConfig(seed=seed, backend=backend),
+            )
+            for first, second in result.pairs:
+                low, high = canonical_pair(first, second)
+                if high >= split:  # at least one endpoint is new
+                    rejoin_pairs.add((low, high))
+        rejoin_seconds = time.perf_counter() - started
+
+        # CPSJOIN has precision 1 and the exact index recall 1 on pairs that
+        # touch a new record, so the baseline can never report a pair the
+        # index missed.
+        missing = rejoin_pairs - index_pairs
+        if missing:
+            raise AssertionError(
+                f"index missed {len(missing)} pairs the re-join baseline found on {name}"
+            )
+        rows.append(
+            {
+                "dataset": name,
+                "records": len(records),
+                "batches": len(batches),
+                "threshold": threshold,
+                "build_seconds": round(build_seconds, 3),
+                "index_seconds": round(index_seconds, 3),
+                "rejoin_seconds": round(rejoin_seconds, 3),
+                "queries_per_second": round(total_queries / max(index_seconds, 1e-9), 1),
+                "speedup": round(rejoin_seconds / max(index_seconds, 1e-9), 2),
+                "index_pairs": len(index_pairs),
+                "rejoin_pairs": len(rejoin_pairs),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    parser = make_parser("Index micro-benchmark (query-many vs repeated batch re-join)")
+    args = parser.parse_args()
+    print(format_table(run(scale=args.scale, seed=args.seed)))
+
+
+if __name__ == "__main__":
+    main()

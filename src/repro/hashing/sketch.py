@@ -28,6 +28,8 @@ import numpy as np
 __all__ = [
     "OneBitMinHashSketches",
     "build_sketches",
+    "pack_sketch_rows",
+    "sample_sketch_hashers",
     "sketch_similarity_threshold",
     "popcount",
     "popcount_rows",
@@ -145,6 +147,52 @@ class OneBitMinHashSketches:
         return float(self.estimate_jaccard_many(record, others).mean())
 
 
+def sample_sketch_hashers(
+    num_functions: int, num_words: int, seed: Optional[int] = None
+) -> tuple:
+    """Sample the bit derivation of a sketch family: ``(coordinates, multipliers)``.
+
+    ``coordinates[b]`` is the signature coordinate feeding sketch bit ``b``
+    (cycling through the available coordinates when ``64 * ell > t``);
+    ``multipliers[b]`` is the odd random multiplier of the 1-bit
+    multiply-shift hash ``bit = msb(a_b * value)``.  Shared by the bulk
+    :func:`build_sketches` and the incremental sketcher of
+    :class:`repro.index.SimilarityIndex`, so the two derive bit-for-bit
+    identical sketches from the same seed.
+    """
+    if num_words < 1:
+        raise ValueError("num_words must be positive")
+    rng = np.random.default_rng(seed)
+    num_bits = num_words * _WORD_BITS
+    coordinates = np.arange(num_bits) % num_functions
+    multipliers = rng.integers(0, 2**64, size=num_bits, dtype=np.uint64) | np.uint64(1)
+    return coordinates, multipliers
+
+
+def pack_sketch_rows(
+    signature_matrix: np.ndarray,
+    coordinates: np.ndarray,
+    multipliers: np.ndarray,
+    num_words: int,
+) -> np.ndarray:
+    """Derive and pack the sketch words of a ``(n, t)`` signature block.
+
+    Bit ``b`` of a record's sketch is the top bit of
+    ``multipliers[b] * signature[coordinates[b]]``; bit ``w*64 + j`` lands in
+    bit ``j`` of word ``w``.
+    """
+    num_records = signature_matrix.shape[0]
+    selected = signature_matrix[:, coordinates]  # (num_records, num_bits)
+    with np.errstate(over="ignore"):
+        mixed = selected * multipliers
+    bits = (mixed >> np.uint64(63)).astype(np.uint64)  # top bit of the product
+    bits = bits.reshape(num_records, num_words, _WORD_BITS)
+    packed = np.zeros((num_records, num_words), dtype=np.uint64)
+    for bit_position in range(_WORD_BITS):
+        packed |= bits[:, :, bit_position] << np.uint64(bit_position)
+    return packed
+
+
 def build_sketches(
     signature_matrix: np.ndarray,
     num_words: int,
@@ -169,26 +217,7 @@ def build_sketches(
     seed:
         Seed for the 1-bit hash functions.
     """
-    if num_words < 1:
-        raise ValueError("num_words must be positive")
-    rng = np.random.default_rng(seed)
-    num_records, num_functions = signature_matrix.shape
-    num_bits = num_words * _WORD_BITS
-
-    # Which signature coordinate feeds each sketch bit.
-    coordinates = np.arange(num_bits) % num_functions
-    # Independent 1-bit hashes of 64-bit values via multiply-shift: bit =
-    # msb(a_i * value) with odd random multiplier a_i.
-    multipliers = rng.integers(0, 2**64, size=num_bits, dtype=np.uint64) | np.uint64(1)
-
-    selected = signature_matrix[:, coordinates]  # (num_records, num_bits)
-    with np.errstate(over="ignore"):
-        mixed = selected * multipliers
-    bits = (mixed >> np.uint64(63)).astype(np.uint8)  # top bit of the product
-
-    # Pack bits into uint64 words, bit b of word w is sketch bit w*64 + b.
-    packed = np.zeros((num_records, num_words), dtype=np.uint64)
-    bits = bits.reshape(num_records, num_words, _WORD_BITS)
-    for bit_position in range(_WORD_BITS):
-        packed |= bits[:, :, bit_position].astype(np.uint64) << np.uint64(bit_position)
+    num_functions = signature_matrix.shape[1]
+    coordinates, multipliers = sample_sketch_hashers(num_functions, num_words, seed)
+    packed = pack_sketch_rows(signature_matrix, coordinates, multipliers, num_words)
     return OneBitMinHashSketches(words=packed)

@@ -11,9 +11,16 @@ algorithms, useful when one collection is indexed once and probed many times
   the records it collides with.
 * :class:`repro.index.minhash_lsh.MinHashLSHIndex` — classic MinHash LSH
   banding index, the baseline the Chosen Path index improves upon.
+* :class:`repro.index.similarity_index.SimilarityIndex` — the
+  build-once/query-many front end: incremental inserts, batched point
+  lookups through the staged filter/verify kernels of the join engine, and
+  an ``"exact"`` candidate mode whose query results match an exact batch
+  join exactly (plus ``"chosenpath"`` / ``"lsh"`` approximate modes reusing
+  the two structures above).
 """
 
 from repro.index.chosen_path import ChosenPathIndex
 from repro.index.minhash_lsh import MinHashLSHIndex
+from repro.index.similarity_index import SimilarityIndex
 
-__all__ = ["ChosenPathIndex", "MinHashLSHIndex"]
+__all__ = ["ChosenPathIndex", "MinHashLSHIndex", "SimilarityIndex"]

@@ -16,7 +16,6 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
 
 from repro.hashing.minhash import MinHasher
 from repro.similarity.verify import verify_pair

@@ -1,0 +1,653 @@
+"""Build-once / query-many similarity index with incremental inserts.
+
+The join engines materialize all similar pairs of a static collection in one
+batch.  Production workloads are usually the other shape: a collection is
+indexed once, then served point lookups (``query``) and incremental updates
+(``insert``) for a long time — rebuilding the whole index per batch of new
+records wastes almost all of its work.  :class:`SimilarityIndex` is that
+query-time counterpart, built on the same staged pipeline as the joins:
+
+* **CandidateStage** — pluggable candidate generation per query:
+  ``"exact"`` (the default) uses a token inverted index, whose candidates
+  provably contain every record with ``J > 0`` against the query, so query
+  results match an exact batch join *exactly*; ``"chosenpath"`` and
+  ``"lsh"`` reuse the Chosen Path forest / MinHash LSH banding structures of
+  this subpackage for sublinear approximate lookups.
+* **SketchFilterStage** — size-compatibility probe plus (optionally) the
+  1-bit minwise sketch filter.  Sketches are maintained incrementally with
+  the identical bit hashes :func:`repro.hashing.sketch.build_sketches` uses,
+  so an incrementally grown index is bit-for-bit the index built in one
+  shot.  In ``"exact"`` mode the sketch filter defaults to *off* — it is the
+  one stage that can drop a true positive — preserving the exactness
+  contract.
+* **VerifyStage** — exact verification through the same kernels as the join
+  backends: the early-terminating merge (``"python"``) or the vectorized
+  CSR ``searchsorted`` intersection (``"numpy"``,
+  :func:`repro.backend.kernels.csr_overlaps_one_to_many`); both accept
+  identical pairs via the shared integer overlap bound.
+
+Queries are served in memory-bounded batches (``batch_size`` queries at a
+time), and all storage grows by amortized O(1) appends: token CSR arrays and
+sketch words double in capacity, so ``insert`` never rebuilds the index.
+Per-stage query timings and counters accumulate in :attr:`stats`
+(``candidate_seconds`` / ``filter_seconds`` / ``verify_seconds``), with
+build time in ``index_build_seconds`` — the same fields the batch joins
+report.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.backend.kernels import (
+    csr_overlaps_one_to_many,
+    overlap_jaccard,
+    required_overlaps,
+    size_compatible_mask,
+    sketch_estimates,
+)
+from repro.datasets.base import Record
+from repro.hashing.minhash import MinHasher
+from repro.hashing.sketch import (
+    pack_sketch_rows,
+    sample_sketch_hashers,
+    sketch_similarity_threshold,
+)
+from repro.result import JoinStats, canonical_pair
+from repro.similarity.verify import verify_pair_sorted
+
+__all__ = ["SimilarityIndex"]
+
+Pair = Tuple[int, int]
+Match = Tuple[int, float]
+
+_WORD_BITS = 64
+_CANDIDATE_MODES = ("exact", "chosenpath", "lsh")
+_BACKENDS = ("python", "numpy")
+
+
+class _PostingLists:
+    """Token → record-id postings with amortized O(1) numpy appends.
+
+    Each posting list is a capacity-doubling ``intp`` array, so the exact
+    candidate stage can merge a query's postings with one C-speed
+    ``np.concatenate`` instead of iterating Python lists.
+    """
+
+    def __init__(self) -> None:
+        # token -> [array, used_length]
+        self._lists: dict = {}
+
+    def append(self, token: int, record_id: int) -> None:
+        entry = self._lists.get(token)
+        if entry is None:
+            array = np.zeros(4, dtype=np.intp)
+            array[0] = record_id
+            self._lists[token] = [array, 1]
+            return
+        array, length = entry
+        if length >= array.shape[0]:
+            grown = np.zeros(2 * array.shape[0], dtype=np.intp)
+            grown[:length] = array[:length]
+            entry[0] = array = grown
+        array[length] = record_id
+        entry[1] = length + 1
+
+    def get(self, token: int) -> Optional[np.ndarray]:
+        entry = self._lists.get(token)
+        if entry is None:
+            return None
+        return entry[0][: entry[1]]
+
+    def __contains__(self, token: int) -> bool:
+        return token in self._lists
+
+
+class _IncrementalSketcher:
+    """Per-record 1-bit minwise sketches, identical to ``build_sketches``.
+
+    Samples the coordinate selection and multiply-shift multipliers once
+    (through the same :func:`repro.hashing.sketch.sample_sketch_hashers` the
+    bulk builder uses) so a record sketched on insert gets exactly the bits
+    a bulk :func:`repro.hashing.sketch.build_sketches` call with the same
+    seed would assign it.
+    """
+
+    def __init__(self, embedding_size: int, num_words: int, seed: Optional[int]) -> None:
+        self.num_words = num_words
+        self.num_bits = num_words * _WORD_BITS
+        self._coordinates, self._multipliers = sample_sketch_hashers(
+            embedding_size, num_words, seed
+        )
+
+    def sketch_rows(self, signatures: np.ndarray) -> np.ndarray:
+        """Pack the sketch words of a ``(n, t)`` signature block in one shot.
+
+        The bit selection, multiply-shift and packing all broadcast over the
+        block, so batching queries amortizes the packing loop — and the bits
+        are identical to sketching each row individually.
+        """
+        return pack_sketch_rows(signatures, self._coordinates, self._multipliers, self.num_words)
+
+    def sketch_row(self, signature: np.ndarray) -> np.ndarray:
+        """Pack the sketch words of one length-``t`` signature row."""
+        return self.sketch_rows(signature[np.newaxis, :])[0]
+
+
+class SimilarityIndex:
+    """An incrementally updatable index answering Jaccard threshold queries.
+
+    Parameters
+    ----------
+    threshold:
+        Jaccard threshold ``λ``; queries report indexed records with
+        ``J(query, record) ≥ λ``.
+    candidates:
+        Candidate generation structure: ``"exact"`` (token inverted index,
+        recall 1 — query results equal an exact batch join), ``"chosenpath"``
+        (the Chosen Path forest of :class:`repro.index.ChosenPathIndex`) or
+        ``"lsh"`` (the banding structure of
+        :class:`repro.index.MinHashLSHIndex`).
+    backend:
+        Verification backend: ``"python"`` (early-terminating merge, the
+        reference semantics) or ``"numpy"`` (vectorized CSR intersection).
+        Identical results either way.
+    use_sketches:
+        Whether queries run the 1-bit sketch filter before exact
+        verification.  Defaults to False in ``"exact"`` mode (the filter has
+        a ``δ`` false-negative rate and would break exactness) and True for
+        the approximate modes.
+    seed:
+        Seed for all hashing (sketches and the approximate candidate
+        structures).  Incremental growth is deterministic for a fixed seed.
+    batch_size:
+        Queries per internal batch of :meth:`query_batch` (memory bound).
+    chosen_path_depth / chosen_path_repetitions / lsh_bands / lsh_rows:
+        Parameters of the approximate candidate structures.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        candidates: str = "exact",
+        backend: Optional[str] = None,
+        use_sketches: Optional[bool] = None,
+        seed: Optional[int] = None,
+        embedding_size: int = 128,
+        sketch_words: int = 8,
+        sketch_false_negative_rate: float = 0.05,
+        batch_size: int = 1024,
+        chosen_path_depth: int = 3,
+        chosen_path_repetitions: int = 12,
+        lsh_bands: int = 32,
+        lsh_rows: int = 4,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            # (0, 1] like the batch joins; λ = 1.0 is exact-duplicate lookup.
+            raise ValueError("threshold must be in (0, 1]")
+        if candidates not in _CANDIDATE_MODES:
+            raise ValueError(f"candidates must be one of {_CANDIDATE_MODES}")
+        backend_name = "python" if backend is None else str(backend).lower()
+        if backend_name not in _BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.threshold = threshold
+        self.candidates = candidates
+        self.backend = backend_name
+        self.seed = seed
+        self.use_sketches = (candidates != "exact") if use_sketches is None else bool(use_sketches)
+        self.batch_size = batch_size
+        self.stats = JoinStats(algorithm="SIMINDEX", threshold=threshold)
+
+        self._records: List[Record] = []
+        self._sizes = np.zeros(16, dtype=np.int64)
+        # CSR token storage: record i occupies _values[_offsets[i]:_offsets[i+1]].
+        self._values = np.zeros(1024, dtype=np.int64)
+        self._offsets = np.zeros(17, dtype=np.int64)
+        self._overlap_ratio = threshold / (1.0 + threshold)
+
+        # Sketch substrate (shared by every candidate mode when enabled).
+        self._minhasher: Optional[MinHasher] = None
+        self._sketcher: Optional[_IncrementalSketcher] = None
+        self._sketch_words_array: Optional[np.ndarray] = None
+        self._sketch_cutoff = 0.0
+        if self.use_sketches:
+            self._minhasher = MinHasher(num_functions=embedding_size, seed=seed)
+            sketch_seed = None if seed is None else seed + 0x5EED
+            self._sketcher = _IncrementalSketcher(embedding_size, sketch_words, sketch_seed)
+            self._sketch_words_array = np.zeros((16, sketch_words), dtype=np.uint64)
+            self._sketch_cutoff = sketch_similarity_threshold(
+                threshold, sketch_words * _WORD_BITS, sketch_false_negative_rate
+            )
+
+        # Candidate structure.
+        self._postings = _PostingLists()
+        self._chosen_path = None
+        self._lsh = None
+        if candidates == "chosenpath":
+            from repro.index.chosen_path import ChosenPathIndex
+
+            self._chosen_path = ChosenPathIndex(
+                threshold,
+                depth=chosen_path_depth,
+                repetitions=chosen_path_repetitions,
+                seed=seed,
+            )
+        elif candidates == "lsh":
+            from repro.index.minhash_lsh import MinHashLSHIndex
+
+            self._lsh = MinHashLSHIndex(threshold, bands=lsh_bands, rows=lsh_rows, seed=seed)
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def build(
+        cls,
+        records: Sequence[Sequence[int]],
+        threshold: float,
+        **options: object,
+    ) -> "SimilarityIndex":
+        """Construct an index over a collection in one shot (timed build)."""
+        index = cls(threshold, **options)  # type: ignore[arg-type]
+        index.insert_all(records)
+        return index
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def num_records(self) -> int:
+        return len(self._records)
+
+    def record(self, record_id: int) -> Record:
+        """The stored record with the given id."""
+        return self._records[record_id]
+
+    # ------------------------------------------------------------------ inserts
+    def insert(self, record: Sequence[int]) -> int:
+        """Insert a record incrementally; returns its id.
+
+        Amortized O(|record|) plus the candidate-structure insertion; no part
+        of the existing index is rebuilt.
+        """
+        started = time.perf_counter()
+        normalized = tuple(sorted(set(int(token) for token in record)))
+        if not normalized:
+            raise ValueError("cannot index an empty record")
+        record_id = self._insert_normalized(normalized, None)
+        self.stats.index_build_seconds += time.perf_counter() - started
+        self.stats.num_records = len(self._records)
+        return record_id
+
+    def insert_all(self, records: Sequence[Sequence[int]]) -> List[int]:
+        """Insert many records; returns their ids.
+
+        When the sketch filter is enabled the whole block's sketches are
+        derived with one vectorized :func:`pack_sketch_rows` call (identical
+        bits to per-record sketching, the packing loop amortized across the
+        block).
+        """
+        if not self.use_sketches:
+            return [self.insert(record) for record in records]
+        started = time.perf_counter()
+        normalized_list: List[Record] = []
+        for record in records:
+            normalized = tuple(sorted(set(int(token) for token in record)))
+            if not normalized:
+                raise ValueError("cannot index an empty record")
+            normalized_list.append(normalized)
+        ids: List[int] = []
+        if normalized_list:
+            assert self._minhasher is not None and self._sketcher is not None
+            signatures = np.empty(
+                (len(normalized_list), self._minhasher.num_functions), dtype=np.uint64
+            )
+            for position, normalized in enumerate(normalized_list):
+                signatures[position] = self._minhasher.signature(normalized)
+            rows = self._sketcher.sketch_rows(signatures)
+            ids = [
+                self._insert_normalized(normalized, rows[position])
+                for position, normalized in enumerate(normalized_list)
+            ]
+        self.stats.index_build_seconds += time.perf_counter() - started
+        self.stats.num_records = len(self._records)
+        return ids
+
+    def _insert_normalized(self, normalized: Record, sketch_row: Optional[np.ndarray]) -> int:
+        """Append one normalized record to every storage structure (untimed)."""
+        record_id = len(self._records)
+        self._records.append(normalized)
+
+        self._sizes = self._append_scalar(self._sizes, record_id, len(normalized))
+        self._append_tokens(record_id, normalized)
+
+        if self.use_sketches:
+            assert self._minhasher is not None and self._sketcher is not None
+            if sketch_row is None:
+                sketch_row = self._sketcher.sketch_row(self._minhasher.signature(normalized))
+            self._sketch_words_array = self._append_row(
+                self._sketch_words_array, record_id, sketch_row
+            )
+
+        if self.candidates == "exact":
+            postings = self._postings
+            for token in normalized:
+                postings.append(token, record_id)
+        elif self.candidates == "chosenpath":
+            self._chosen_path.insert(normalized)
+        else:
+            self._lsh.insert(normalized)
+        return record_id
+
+    @staticmethod
+    def _append_scalar(array: np.ndarray, position: int, value: int) -> np.ndarray:
+        if position >= array.shape[0]:
+            grown = np.zeros(max(2 * array.shape[0], position + 1), dtype=array.dtype)
+            grown[: array.shape[0]] = array
+            array = grown
+        array[position] = value
+        return array
+
+    @staticmethod
+    def _append_row(array: np.ndarray, position: int, row: np.ndarray) -> np.ndarray:
+        if position >= array.shape[0]:
+            grown = np.zeros(
+                (max(2 * array.shape[0], position + 1), array.shape[1]), dtype=array.dtype
+            )
+            grown[: array.shape[0]] = array
+            array = grown
+        array[position] = row
+        return array
+
+    def _append_tokens(self, record_id: int, tokens: Record) -> None:
+        if record_id + 1 >= self._offsets.shape[0]:
+            grown = np.zeros(2 * self._offsets.shape[0], dtype=np.int64)
+            grown[: self._offsets.shape[0]] = self._offsets
+            self._offsets = grown
+        start = int(self._offsets[record_id])
+        end = start + len(tokens)
+        if end > self._values.shape[0]:
+            grown = np.zeros(max(2 * self._values.shape[0], end), dtype=np.int64)
+            grown[: self._values.shape[0]] = self._values
+            self._values = grown
+        self._values[start:end] = tokens
+        self._offsets[record_id + 1] = end
+
+    # ------------------------------------------------------------------ queries
+    def query(self, record: Sequence[int], exclude: Optional[int] = None) -> List[Match]:
+        """Indexed records with ``J(query, record) ≥ threshold``.
+
+        Returns ``(record_id, similarity)`` pairs sorted by decreasing
+        similarity (ties by id).  ``exclude`` omits one id — used when the
+        query record is itself a member of the index.
+        """
+        return self.query_batch([record], exclude_ids=None if exclude is None else [exclude])[0]
+
+    def query_batch(
+        self,
+        records: Sequence[Sequence[int]],
+        exclude_ids: Optional[Sequence[Optional[int]]] = None,
+    ) -> List[List[Match]]:
+        """Point-lookup many queries, processed in memory-bounded batches.
+
+        Queries are served ``batch_size`` at a time: each chunk's 1-bit
+        sketches are computed as one vectorized block (when the sketch
+        filter is enabled), so the chunk size bounds the materialized
+        signature/sketch temporaries and amortizes the packing loop across
+        the chunk.  ``exclude_ids`` optionally gives one index id per query
+        to omit from its result (e.g. the query's own id when querying the
+        index with its own members).  Returns one match list per query,
+        aligned with the input order.
+        """
+        if exclude_ids is not None and len(exclude_ids) != len(records):
+            raise ValueError("exclude_ids must have one entry per query record")
+        results: List[List[Match]] = []
+        for start in range(0, len(records), self.batch_size):
+            chunk = records[start : start + self.batch_size]
+            excludes = (
+                exclude_ids[start : start + self.batch_size]
+                if exclude_ids is not None
+                else [None] * len(chunk)
+            )
+            normalized_chunk = [self._normalize_query(record) for record in chunk]
+            sketch_block = self._sketch_block(normalized_chunk)
+            for position, (normalized, exclude) in enumerate(zip(normalized_chunk, excludes)):
+                query_words = sketch_block[position] if sketch_block is not None else None
+                results.append(self._query_one(normalized, exclude, query_words))
+        return results
+
+    def self_join_pairs(self) -> Set[Pair]:
+        """All similar pairs among the indexed records, via point lookups.
+
+        Equivalent to a batch self-join of the indexed collection: in
+        ``"exact"`` mode the returned pairs equal
+        ``similarity_join(records, threshold, algorithm="allpairs")`` exactly.
+        """
+        pairs: Set[Pair] = set()
+        matches = self.query_batch(self._records, exclude_ids=list(range(len(self._records))))
+        for query_id, found in enumerate(matches):
+            for record_id, _ in found:
+                pairs.add(canonical_pair(query_id, record_id))
+        return pairs
+
+    # ------------------------------------------------------------------ query pipeline
+    @staticmethod
+    def _normalize_query(record: Sequence[int]) -> Record:
+        normalized = tuple(sorted(set(int(token) for token in record)))
+        if not normalized:
+            raise ValueError("cannot query with an empty record")
+        return normalized
+
+    def _sketch_block(self, normalized_chunk: List[Record]) -> Optional[np.ndarray]:
+        """Vectorized query sketches for one chunk (None when sketches are off).
+
+        Counted as filter-stage time: the sketches exist only to feed the
+        sketch filter.
+        """
+        if not self.use_sketches or not normalized_chunk:
+            return None
+        assert self._minhasher is not None and self._sketcher is not None
+        started = time.perf_counter()
+        signatures = np.empty(
+            (len(normalized_chunk), self._minhasher.num_functions), dtype=np.uint64
+        )
+        for position, normalized in enumerate(normalized_chunk):
+            signatures[position] = self._minhasher.signature(normalized)
+        block = self._sketcher.sketch_rows(signatures)
+        self.stats.filter_seconds += time.perf_counter() - started
+        return block
+
+    def _filter_candidates(
+        self,
+        normalized: Record,
+        candidate_ids: np.ndarray,
+        query_words: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """SketchFilterStage: size probe plus optional 1-bit sketch filter.
+
+        Returns a boolean keep-mask aligned with ``candidate_ids`` (so
+        callers can carry per-candidate payloads through the filter).
+        Shared by the generic and the fused ScanCount query paths, so the
+        two can never diverge; uses the same
+        :func:`repro.backend.kernels.size_compatible_mask` /
+        :func:`repro.backend.kernels.sketch_estimates` predicates as the
+        join engine, and updates the filter timing and candidate/verified
+        counters.
+        """
+        stats = self.stats
+        started = time.perf_counter()
+        passing = size_compatible_mask(
+            len(normalized), self._sizes[candidate_ids], self.threshold
+        )
+        if self.use_sketches and passing.any():
+            if query_words is None:
+                assert self._minhasher is not None and self._sketcher is not None
+                query_words = self._sketcher.sketch_row(self._minhasher.signature(normalized))
+            surviving = candidate_ids[passing]
+            estimates = sketch_estimates(
+                query_words, self._sketch_words_array[surviving], self._sketcher.num_bits
+            )
+            passing[passing] = estimates >= self._sketch_cutoff
+        stats.filter_seconds += time.perf_counter() - started
+        survivors = int(np.count_nonzero(passing))
+        stats.candidates += survivors
+        stats.verified += survivors
+        return passing
+
+    def _query_one(
+        self,
+        normalized: Record,
+        exclude: Optional[int],
+        query_words: Optional[np.ndarray] = None,
+    ) -> List[Match]:
+        stats = self.stats
+        stats.extra["queries"] = stats.extra.get("queries", 0.0) + 1.0
+        if self.candidates == "exact" and self.backend == "numpy":
+            return self._query_one_scancount(normalized, exclude, query_words)
+
+        # Candidate stage.
+        started = time.perf_counter()
+        candidate_ids = self._candidate_ids(normalized)
+        if exclude is not None and candidate_ids.size:
+            candidate_ids = candidate_ids[candidate_ids != exclude]
+        stats.candidate_seconds += time.perf_counter() - started
+        stats.pre_candidates += int(candidate_ids.size)
+        if candidate_ids.size == 0:
+            return []
+
+        candidate_ids = candidate_ids[self._filter_candidates(normalized, candidate_ids, query_words)]
+        if candidate_ids.size == 0:
+            return []
+
+        # Verify stage.
+        started = time.perf_counter()
+        matches = self._verify_query(normalized, candidate_ids)
+        stats.verify_seconds += time.perf_counter() - started
+        return sorted(matches, key=lambda item: (-item[1], item[0]))
+
+    def _query_one_scancount(
+        self,
+        normalized: Record,
+        exclude: Optional[int],
+        query_words: Optional[np.ndarray] = None,
+    ) -> List[Match]:
+        """Fused exact query for the numpy backend (ScanCount).
+
+        One pass over the query tokens' postings counts the exact
+        intersection size of the query with every record sharing a token
+        (``np.unique(..., return_counts=True)`` over the merged posting
+        lists — O(postings touched), no index-sized temporaries), so the
+        verify stage reduces to a vectorized comparison against the overlap
+        bound — no per-candidate token merge at all.  Candidate / filter /
+        verify counters match the scalar reference path exactly: candidates
+        are the records sharing at least one token, the filter is the shared
+        :meth:`_filter_candidates` stage, and every filter survivor counts
+        as verified.
+        """
+        stats = self.stats
+
+        # Candidate stage: merged postings -> per-record overlap counts.
+        started = time.perf_counter()
+        hits = self._gather_postings(normalized)
+        if hits:
+            merged = np.concatenate(hits)
+            if merged.size >= len(self._records):
+                # Dense query (postings dominate the index size): an O(L + n)
+                # bincount beats sorting the merge.
+                counts = np.bincount(merged, minlength=len(self._records))
+                candidate_ids = np.flatnonzero(counts)
+                overlaps = counts[candidate_ids]
+            else:
+                # Selective query: stay O(L log L) with no index-sized
+                # temporary.
+                candidate_ids, overlaps = np.unique(merged, return_counts=True)
+        else:
+            candidate_ids = np.zeros(0, dtype=np.intp)
+            overlaps = np.zeros(0, dtype=np.int64)
+        if exclude is not None and candidate_ids.size:
+            keep = candidate_ids != exclude
+            candidate_ids, overlaps = candidate_ids[keep], overlaps[keep]
+        stats.candidate_seconds += time.perf_counter() - started
+        stats.pre_candidates += int(candidate_ids.size)
+        if candidate_ids.size == 0:
+            return []
+
+        mask = self._filter_candidates(normalized, candidate_ids, query_words)
+        candidate_ids, overlaps = candidate_ids[mask], overlaps[mask]
+        if candidate_ids.size == 0:
+            return []
+
+        # Verify stage: the overlaps are already exact.
+        started = time.perf_counter()
+        matches = self._accept_matches(len(normalized), candidate_ids, overlaps)
+        stats.verify_seconds += time.perf_counter() - started
+        return sorted(matches, key=lambda item: (-item[1], item[0]))
+
+    def _gather_postings(self, normalized: Record) -> List[np.ndarray]:
+        """Posting-list views of every query token present in the index."""
+        postings = self._postings
+        return [
+            bucket
+            for bucket in (postings.get(token) for token in normalized)
+            if bucket is not None
+        ]
+
+    def _accept_matches(
+        self, query_size: int, candidate_ids: np.ndarray, overlaps: np.ndarray
+    ) -> List[Match]:
+        """Accept candidates from exact intersection sizes (shared verify tail).
+
+        Applies the integer overlap bound and converts surviving overlaps to
+        exact Jaccard similarities; used by both vectorized verify paths so
+        acceptance and tie-breaking can never diverge.
+        """
+        required = required_overlaps(query_size, self._sizes[candidate_ids], self._overlap_ratio)
+        accepted = overlaps >= required
+        similarities = overlap_jaccard(
+            query_size, self._sizes[candidate_ids][accepted], overlaps[accepted]
+        )
+        return [
+            (int(record_id), float(similarity))
+            for record_id, similarity in zip(candidate_ids[accepted], similarities)
+        ]
+
+    def _candidate_ids(self, normalized: Record) -> np.ndarray:
+        if self.candidates == "exact":
+            hits = self._gather_postings(normalized)
+            if not hits:
+                return np.zeros(0, dtype=np.intp)
+            return np.unique(np.concatenate(hits))
+        if self.candidates == "chosenpath":
+            found = self._chosen_path.candidates(normalized)
+        else:
+            found = self._lsh.candidates(normalized)
+        return np.asarray(sorted(found), dtype=np.intp)
+
+    def _verify_query(self, normalized: Record, candidate_ids: np.ndarray) -> List[Match]:
+        if self.backend == "numpy":
+            query_tokens = np.asarray(normalized, dtype=np.int64)
+            overlaps = csr_overlaps_one_to_many(
+                query_tokens, self._values, self._offsets, self._sizes, candidate_ids
+            )
+            return self._accept_matches(len(normalized), candidate_ids, overlaps)
+        matches: List[Match] = []
+        for candidate_id in candidate_ids:
+            accepted, similarity = verify_pair_sorted(
+                normalized, self._records[int(candidate_id)], self.threshold
+            )
+            if accepted:
+                matches.append((int(candidate_id), similarity))
+        return matches
+
+    # ------------------------------------------------------------------ introspection
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimilarityIndex(threshold={self.threshold}, candidates={self.candidates!r}, "
+            f"backend={self.backend!r}, records={len(self._records)})"
+        )

@@ -19,6 +19,13 @@ Both return :class:`repro.result.JoinResult`; the approximate algorithms
 achieve 100 % precision by construction (every reported pair is verified
 exactly) and recall ≥ 90 % with the default parameters.
 
+The randomized algorithms all execute through the shared staged pipeline of
+:class:`repro.engine.JoinEngine` (candidate → dedup → sketch-filter →
+verify), so every result carries the per-stage timing split
+(``candidate_seconds`` / ``filter_seconds`` / ``verify_seconds``) in its
+statistics.  For index-once/query-many workloads over the same records, see
+:class:`repro.index.SimilarityIndex`.
+
 Input validation is uniform across all algorithms: empty records raise
 ``ValueError`` (they cannot meet any positive similarity threshold, and the
 hashing substrate of the randomized algorithms cannot embed them).

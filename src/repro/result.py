@@ -48,6 +48,10 @@ class JoinStats:
     elapsed_seconds: float = 0.0
     worker_seconds: float = 0.0
     preprocessing_seconds: float = 0.0
+    candidate_seconds: float = 0.0
+    filter_seconds: float = 0.0
+    verify_seconds: float = 0.0
+    index_build_seconds: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
 
     def merge(self, other: "JoinStats") -> None:
@@ -64,6 +68,13 @@ class JoinStats:
         self.candidates += other.candidates
         self.verified += other.verified
         self.elapsed_seconds += other.elapsed_seconds
+        # Per-stage timings are worker-side times (like worker_seconds): they
+        # sum across repetitions, so with parallel workers their total can
+        # exceed the merged wall clock.
+        self.candidate_seconds += other.candidate_seconds
+        self.filter_seconds += other.filter_seconds
+        self.verify_seconds += other.verify_seconds
+        self.index_build_seconds += other.index_build_seconds
         # A leaf run (single repetition) carries its time in elapsed_seconds
         # and has worker_seconds == 0; an already merged aggregate carries the
         # summed worker time in worker_seconds.  Taking whichever is set keeps
@@ -91,6 +102,10 @@ class JoinStats:
             "elapsed_seconds": self.elapsed_seconds,
             "worker_seconds": self.worker_seconds,
             "preprocessing_seconds": self.preprocessing_seconds,
+            "candidate_seconds": self.candidate_seconds,
+            "filter_seconds": self.filter_seconds,
+            "verify_seconds": self.verify_seconds,
+            "index_build_seconds": self.index_build_seconds,
         }
         flat.update(self.extra)
         return flat

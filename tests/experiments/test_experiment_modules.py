@@ -13,6 +13,7 @@ from repro.experiments import (
     ablation_stopping,
     figure2,
     figure3,
+    index_bench,
     rs_bench,
     table1,
     table2,
@@ -136,6 +137,21 @@ class TestRSBench:
         left, right = rs_bench.make_rs_workload(scale=0.05, seed=17)
         planted = max(1, int(len(left) * 0.05))
         assert right[-planted:] == left[:planted]
+
+
+class TestIndexBench:
+    def test_smoke_rows(self) -> None:
+        rows = index_bench.run(
+            scale=0.05, seed=18, num_batches=2, workloads=[("UNIFORM005", 4.0)]
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        # The run itself asserts the baseline pairs are a subset of the
+        # index pairs; the rows must carry the timing comparison.
+        assert row["index_pairs"] >= row["rejoin_pairs"]
+        assert row["index_seconds"] >= 0.0
+        assert row["rejoin_seconds"] >= 0.0
+        assert row["queries_per_second"] > 0.0
 
 
 class TestAblations:

@@ -124,6 +124,71 @@ class TestRSJoinCommand:
         assert exit_code == 0
 
 
+class TestIndexCommand:
+    def test_build_requires_subcommand(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["index"])
+
+    def test_build_then_query(self, dataset_file, tmp_path, capsys) -> None:
+        index_path = tmp_path / "data.index.pkl"
+        exit_code = main(
+            [
+                "index",
+                "build",
+                str(dataset_file),
+                "--threshold",
+                "0.5",
+                "--out",
+                str(index_path),
+                "--backend",
+                "numpy",
+            ]
+        )
+        assert exit_code == 0
+        assert index_path.exists()
+        captured = capsys.readouterr()
+        assert "indexed 5 records" in captured.out
+
+        queries = tmp_path / "queries.txt"
+        write_dataset(Dataset([[1, 2, 3, 4], [50, 51, 52]], name="cliq"), queries)
+        out = tmp_path / "matches.csv"
+        exit_code = main(["index", "query", str(index_path), str(queries), "--out", str(out)])
+        assert exit_code == 0
+        text = out.read_text()
+        assert text.startswith("query,match,similarity")
+        assert "0,0,1.000000" in text  # query 0 equals record 0
+        assert "\n1," not in text  # query 1 matches nothing
+
+    def test_query_with_insert_grows_index(self, dataset_file, tmp_path, capsys) -> None:
+        index_path = tmp_path / "data.index.pkl"
+        main(["index", "build", str(dataset_file), "--out", str(index_path)])
+        queries = tmp_path / "queries.txt"
+        write_dataset(Dataset([[100, 101, 102], [100, 101, 102, 103]], name="cliq"), queries)
+        exit_code = main(
+            ["index", "query", str(index_path), str(queries), "--insert", "--out", str(tmp_path / "m.csv")]
+        )
+        assert exit_code == 0
+        # The second query must have matched the freshly inserted first one.
+        text = (tmp_path / "m.csv").read_text()
+        assert "1,5," in text
+        captured = capsys.readouterr()
+        assert "index grown to 7 records" in captured.err
+
+    def test_query_rejects_non_index_pickle(self, dataset_file, tmp_path) -> None:
+        import pickle
+
+        bogus = tmp_path / "bogus.pkl"
+        bogus.write_bytes(pickle.dumps({"not": "an index"}))
+        with pytest.raises(SystemExit):
+            main(["index", "query", str(bogus), str(dataset_file)])
+
+    def test_build_candidates_choice_restricted(self, dataset_file, tmp_path) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["index", "build", str(dataset_file), "--out", "x.pkl", "--candidates", "magic"]
+            )
+
+
 class TestGenerateAndStats:
     def test_generate_then_stats_roundtrip(self, tmp_path, capsys) -> None:
         out = tmp_path / "uniform.txt"
