@@ -14,6 +14,16 @@ stage (each non-trivial bucket becomes a
 :class:`~repro.engine.stages.SubsetCandidates` task), and the engine runs
 the same sketch-filter and verify stages CPSJOIN uses — exactly as the two
 implementations share BRUTEFORCEPAIRS in the paper.
+
+The ``L`` bucketing rounds are mutually independent once their sampled
+coordinates are fixed, so the join supports the same parallel execution as
+the CPSJOIN repetition engine: all rounds' coordinates are drawn serially
+up front (preserving the exact randomness consumption of a sequential run),
+the rounds are dealt into shards, and each shard runs through its own
+staged engine on a thread pool or — via the shared-memory
+:class:`repro.store.RecordStore` — on worker processes that attach the
+collection zero-copy.  The merged pair set is bit-for-bit identical to the
+sequential run for every ``workers`` / ``executor`` combination.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ import numpy as np
 from repro.core.preprocess import PreprocessedCollection, preprocess_collection
 from repro.engine import CandidateStage, JoinEngine, SubsetCandidates, Task
 from repro.result import JoinResult, JoinStats, Timer
+from repro.store import StoreHandle
 
 __all__ = ["MinHashLSHJoin", "MinHashBucketStage", "minhash_lsh_join"]
 
@@ -36,35 +47,42 @@ _SEED_STREAM = 104729
 """Odd multiplier deriving per-repetition seeds (kept from the seed impl)."""
 
 
-class MinHashBucketStage(CandidateStage):
-    """Candidate stage of MinHash LSH: ``repetitions`` rounds of bucketing.
+def _minhash_shard_worker(
+    handle: StoreHandle, join: "MinHashLSHJoin", coordinate_rounds: List[np.ndarray]
+) -> JoinResult:
+    """Run a shard of bucketing rounds in a worker process (shared store)."""
+    from repro.core.repetition import _attached_collection
 
-    Each round samples ``k`` signature coordinates and yields every bucket of
-    at least two records as a brute-force task; the randomness consumption is
-    identical to the historical per-run loop.
+    collection = _attached_collection(handle)
+    return join._execute_rounds(collection, coordinate_rounds)
+
+
+class MinHashBucketStage(CandidateStage):
+    """Candidate stage of MinHash LSH: one bucketing round per coordinate set.
+
+    Each round's ``k`` signature coordinates are sampled *before* the stage
+    is built (so rounds can be dealt to parallel workers without touching
+    the generator); the stage just yields every bucket of at least two
+    records as a brute-force task, in round order.
     """
 
     def __init__(
         self,
         join: "MinHashLSHJoin",
         collection: PreprocessedCollection,
-        k: int,
-        repetitions: int,
-        rng: np.random.Generator,
+        coordinate_rounds: Sequence[np.ndarray],
         stats: JoinStats,
         count_repetitions: bool = True,
     ) -> None:
         self.join = join
         self.collection = collection
-        self.k = k
-        self.repetitions = repetitions
-        self.rng = rng
+        self.coordinate_rounds = coordinate_rounds
         self.stats = stats
         self.count_repetitions = count_repetitions
 
     def tasks(self) -> Iterator[Task]:
-        for _ in range(self.repetitions):
-            for bucket in self.join._bucketize(self.collection, self.k, self.rng):
+        for coordinates in self.coordinate_rounds:
+            for bucket in self.join._bucketize(self.collection, coordinates):
                 yield SubsetCandidates(tuple(bucket))
             if self.count_repetitions:
                 self.stats.repetitions += 1
@@ -92,6 +110,13 @@ class MinHashLSHJoin:
     backend:
         Execution backend for the bucket brute-forcing (``"python"`` /
         ``"numpy"``); identical results either way.
+    workers:
+        Parallel workers executing the bucketing rounds (1 = sequential).
+        The merged pair set is seed-deterministic for any worker count.
+    executor:
+        ``"serial"`` / ``"threads"`` / ``"processes"`` — how round shards are
+        dispatched when ``workers > 1`` (see
+        :mod:`repro.core.repetition`).
     """
 
     CANDIDATE_K_RANGE = range(2, 11)
@@ -108,11 +133,20 @@ class MinHashLSHJoin:
         sketch_false_negative_rate: float = 0.05,
         seed: Optional[int] = None,
         backend: Optional[str] = None,
+        workers: int = 1,
+        executor: Optional[str] = None,
     ) -> None:
+        from repro.core.repetition import EXECUTOR_NAMES
+
         if not 0.0 < threshold < 1.0:
             raise ValueError("threshold must be in (0, 1)")
         if not 0.0 < target_recall < 1.0:
             raise ValueError("target_recall must be in (0, 1)")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        executor = "threads" if executor is None else str(executor).lower()
+        if executor not in EXECUTOR_NAMES:
+            raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTOR_NAMES}")
         self.threshold = threshold
         self.num_hash_functions = num_hash_functions
         self.repetitions = repetitions
@@ -121,6 +155,8 @@ class MinHashLSHJoin:
         self.sketch_false_negative_rate = sketch_false_negative_rate
         self.seed = seed
         self.backend = backend
+        self.workers = workers
+        self.executor = executor
 
     # ------------------------------------------------------------------ public API
     def join(
@@ -138,7 +174,13 @@ class MinHashLSHJoin:
         return self.join_preprocessed(collection)
 
     def join_preprocessed(self, collection: PreprocessedCollection) -> JoinResult:
-        """Run the join on an already preprocessed collection."""
+        """Run the join on an already preprocessed collection.
+
+        All rounds' coordinates are drawn from one generator up front — the
+        exact randomness consumption of the historical sequential loop — so
+        a parallel run (``workers > 1``, any executor) buckets identically
+        and reports the identical pair set.
+        """
         rng = np.random.default_rng(self.seed)
         stats = JoinStats(
             algorithm=self.algorithm_name,
@@ -150,8 +192,79 @@ class MinHashLSHJoin:
         k = self.num_hash_functions or self.select_k(collection, rng)
         stats.extra["k"] = float(k)
         repetitions = self.repetitions or self.repetitions_for_recall(k)
+        coordinate_rounds = [
+            self._draw_coordinates(collection.embedding_size, k, rng)
+            for _ in range(repetitions)
+        ]
+        if self.workers == 1 or self.executor == "serial" or repetitions <= 1:
+            engine = self._make_engine(collection)
+            stage = MinHashBucketStage(self, collection, coordinate_rounds, stats)
+            with Timer() as timer:
+                pairs = engine.execute(stage, stats)
+            stats.results = len(pairs)
+            stats.elapsed_seconds = timer.elapsed
+            return JoinResult(pairs=pairs, stats=stats)
+        return self._join_parallel(collection, coordinate_rounds, stats)
+
+    def _join_parallel(
+        self,
+        collection: PreprocessedCollection,
+        coordinate_rounds: List[np.ndarray],
+        stats: JoinStats,
+    ) -> JoinResult:
+        """Deal the rounds into shards and run them on parallel workers.
+
+        Every shard runs the standard staged pipeline over its own engine;
+        shard results are merged in shard order (counters are per-round sums,
+        so the totals are identical to a sequential run).
+        """
+        from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+        from repro.core.repetition import process_pool_context, shard_round_robin
+
+        shard_ids = shard_round_robin(len(coordinate_rounds), self.workers)
+        shards = [[coordinate_rounds[index] for index in shard] for shard in shard_ids]
+        pairs: set = set()
+        with Timer() as timer:
+            if self.executor == "processes":
+                lease = collection.to_shared()
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=len(shards), mp_context=process_pool_context()
+                    ) as pool:
+                        futures = [
+                            pool.submit(_minhash_shard_worker, lease.handle, self, shard)
+                            for shard in shards
+                        ]
+                        results = [future.result() for future in futures]
+                finally:
+                    lease.close()
+            else:  # threads
+                with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+                    futures = [
+                        pool.submit(self._execute_rounds, collection, shard)
+                        for shard in shards
+                    ]
+                    results = [future.result() for future in futures]
+            for result in results:
+                pairs |= result.pairs
+                stats.merge(result.stats)
+        stats.results = len(pairs)
+        stats.elapsed_seconds = timer.elapsed
+        return JoinResult(pairs=pairs, stats=stats)
+
+    def _execute_rounds(
+        self, collection: PreprocessedCollection, coordinate_rounds: List[np.ndarray]
+    ) -> JoinResult:
+        """Run a shard of bucketing rounds through its own staged engine."""
+        stats = JoinStats(
+            algorithm=self.algorithm_name,
+            threshold=self.threshold,
+            num_records=collection.num_records,
+            repetitions=0,
+        )
         engine = self._make_engine(collection)
-        stage = MinHashBucketStage(self, collection, k, repetitions, rng, stats)
+        stage = MinHashBucketStage(self, collection, coordinate_rounds, stats)
         with Timer() as timer:
             pairs = engine.execute(stage, stats)
         stats.results = len(pairs)
@@ -169,8 +282,9 @@ class MinHashLSHJoin:
         )
         k = self.num_hash_functions or self.select_k(collection, rng)
         stats.extra["k"] = float(k)
+        coordinates = self._draw_coordinates(collection.embedding_size, k, rng)
         engine = self._make_engine(collection)
-        stage = MinHashBucketStage(self, collection, k, 1, rng, stats, count_repetitions=False)
+        stage = MinHashBucketStage(self, collection, [coordinates], stats, count_repetitions=False)
         with Timer() as timer:
             pairs = engine.execute(stage, stats)
         stats.results = len(pairs)
@@ -205,7 +319,8 @@ class MinHashLSHJoin:
         best_k = 2
         best_cost = math.inf
         for k in self.CANDIDATE_K_RANGE:
-            buckets = self._bucketize(collection, k, rng)
+            coordinates = self._draw_coordinates(collection.embedding_size, k, rng)
+            buckets = self._bucketize(collection, coordinates)
             pair_cost = sum(len(bucket) * (len(bucket) - 1) / 2 for bucket in buckets)
             lookup_cost = collection.num_records * k
             runs_needed = 1.0 / (self.threshold**k)
@@ -215,12 +330,15 @@ class MinHashLSHJoin:
                 best_k = k
         return best_k
 
+    @staticmethod
+    def _draw_coordinates(num_functions: int, k: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample one round's ``k`` distinct signature coordinates."""
+        return rng.choice(num_functions, size=min(k, num_functions), replace=False)
+
     def _bucketize(
-        self, collection: PreprocessedCollection, k: int, rng: np.random.Generator
+        self, collection: PreprocessedCollection, coordinates: np.ndarray
     ) -> List[List[int]]:
-        """Split the collection into buckets keyed by ``k`` concatenated MinHash values."""
-        num_functions = collection.embedding_size
-        coordinates = rng.choice(num_functions, size=min(k, num_functions), replace=False)
+        """Split the collection into buckets keyed by the concatenated MinHash values."""
         keys = collection.signatures.matrix[:, coordinates]
         groups: Dict[Tuple[int, ...], List[int]] = defaultdict(list)
         for record_id in range(collection.num_records):

@@ -10,9 +10,11 @@ the LSH baselines) stay agnostic of *how* the arithmetic is executed:
 * :class:`~repro.backend.python_backend.PythonBackend` verifies candidates
   one pair at a time with the early-terminating merge of
   :func:`repro.similarity.verify.verify_pair_sorted` — the seed semantics.
-* :class:`~repro.backend.numpy_backend.NumpyBackend` packs the token sets
-  into CSR-style ``uint32``/``int64`` arrays once per collection and verifies
-  whole candidate blocks with vectorized ``searchsorted`` intersections.
+* :class:`~repro.backend.numpy_backend.NumpyBackend` reads the CSR-packed
+  token arrays straight out of the collection's
+  :class:`repro.store.RecordStore` and verifies whole candidate blocks with
+  vectorized ``searchsorted`` intersections — zero-copy even when the store
+  lives in a shared-memory segment attached by a worker process.
 
 Both backends are *exactly* equivalent: a pair is accepted if and only if its
 true Jaccard similarity meets the threshold, so the verified pair sets (and

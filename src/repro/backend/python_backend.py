@@ -5,6 +5,11 @@ candidate surviving the size and sketch filters is verified with the
 early-terminating merge of :func:`repro.similarity.verify.verify_pair_sorted`,
 one pair at a time.  It is the correctness baseline the vectorized backends
 are tested against.
+
+The scalar merge wants plain Python tuples, so this backend reads the
+collection's lazy ``records`` view — materialized from the record store's
+CSR arrays at most once per process (a worker attaching a shared store pays
+that O(total tokens) cost on first use, never per repetition).
 """
 
 from __future__ import annotations

@@ -20,7 +20,7 @@ Python:
 * ``repro-join experiment`` — run one of the paper's experiments by name
   (``table1``, ``table2``, ``figure2``, ``figure3``, ``table4``,
   ``tokens``, ``ablation-stopping``, ``ablation-sketches``,
-  ``backend-bench``, ``rs-bench``, ``index-bench``).
+  ``backend-bench``, ``rs-bench``, ``index-bench``, ``parallel-bench``).
 
 Examples::
 
@@ -76,7 +76,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="parallel repetition workers for cpsjoin (default 1; results are seed-deterministic)",
+        help="parallel workers for the randomized algorithms (default 1; results are "
+        "seed-deterministic): cpsjoin parallelizes its repetitions, minhash its bucketing "
+        "rounds; bayeslsh has no parallel path and rejects workers > 1 with a clear error",
+    )
+    join_parser.add_argument(
+        "--executor",
+        choices=["serial", "threads", "processes"],
+        default=None,
+        help="how parallel workers are dispatched (default threads): 'processes' shares the "
+        "preprocessed collection through shared memory for true multi-core execution",
     )
     join_parser.add_argument("--out", type=str, default=None, help="write pairs as CSV to this path (default stdout)")
 
@@ -105,6 +114,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="verification backend for queries (default python)",
     )
     index_build.add_argument("--seed", type=int, default=None, help="seed for the index hashing")
+    index_build.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel workers for the bulk signature build and for query batches "
+        "(stored on the index; default 1)",
+    )
+    index_build.add_argument(
+        "--executor",
+        choices=["serial", "threads", "processes"],
+        default=None,
+        help="how index workers are dispatched (default threads)",
+    )
 
     index_query = index_subparsers.add_parser(
         "query", help="run point lookups from a query file against a pickled index"
@@ -119,6 +141,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     index_query.add_argument(
         "--out", type=str, default=None, help="write matches as CSV to this path (default stdout)"
+    )
+    index_query.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override the loaded index's parallel query workers for this run",
+    )
+    index_query.add_argument(
+        "--executor",
+        choices=["serial", "threads", "processes"],
+        default=None,
+        help="override the loaded index's executor for this run",
     )
 
     generate_parser = subparsers.add_parser("generate", help="generate a surrogate or synthetic dataset")
@@ -145,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
             "backend-bench",
             "rs-bench",
             "index-bench",
+            "parallel-bench",
         ],
     )
     experiment_parser.add_argument("--scale", type=float, default=0.3)
@@ -171,6 +206,7 @@ def _command_join(args: argparse.Namespace) -> int:
             seed=args.seed,
             backend=args.backend,
             workers=args.workers,
+            executor=args.executor,
         )
     else:
         result = similarity_join(
@@ -181,6 +217,7 @@ def _command_join(args: argparse.Namespace) -> int:
             seed=args.seed,
             backend=args.backend,
             workers=args.workers,
+            executor=args.executor,
         )
 
     rows = [{"first": first, "second": second} for first, second in sorted(result.pairs)]
@@ -205,12 +242,18 @@ def _command_index(args: argparse.Namespace) -> int:
 
     if args.index_command == "build":
         dataset = read_dataset(args.input)
+        options = {}
+        if args.workers is not None:
+            options["workers"] = args.workers
+        if args.executor is not None:
+            options["executor"] = args.executor
         index = SimilarityIndex.build(
             dataset.records,
             args.threshold,
             candidates=args.candidates,
             backend=args.backend,
             seed=args.seed,
+            **options,
         )
         with open(args.out, "wb") as handle:
             pickle.dump(index, handle)
@@ -226,6 +269,12 @@ def _command_index(args: argparse.Namespace) -> int:
         index = pickle.load(handle)
     if not isinstance(index, SimilarityIndex):
         raise SystemExit(f"{args.index} does not contain a SimilarityIndex pickle")
+    if args.workers is not None:
+        if args.workers < 1:
+            raise SystemExit("workers must be at least 1")
+        index.workers = args.workers
+    if args.executor is not None:
+        index.executor = args.executor
     queries = read_dataset(args.queries)
     # A loaded index carries the stats of every previous session; report the
     # timing of *this* run as deltas against the loaded snapshot.
@@ -302,6 +351,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         figure2,
         figure3,
         index_bench,
+        parallel_bench,
         rs_bench,
         table1,
         table2,
@@ -335,6 +385,11 @@ def _command_experiment(args: argparse.Namespace) -> int:
         print(format_table(rs_bench.run(scale=args.scale, seed=args.seed)))
     elif name == "index-bench":
         print(format_table(index_bench.run(scale=args.scale, seed=args.seed)))
+    elif name == "parallel-bench":
+        # Print-only like every other experiment; the JSON artifact is
+        # opt-in via `python -m repro.experiments.parallel_bench --out-json`
+        # or scripts/run_experiments.py.
+        print(format_table(parallel_bench.run(scale=args.scale, seed=args.seed, out_json=None)))
     return 0
 
 

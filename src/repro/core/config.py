@@ -15,6 +15,7 @@ __all__ = ["CPSJoinConfig"]
 _VALID_STOPPING = ("adaptive", "global", "individual")
 _VALID_AVERAGE_METHODS = ("sketches", "tokens")
 _VALID_BACKENDS = ("python", "numpy")
+_VALID_EXECUTORS = ("serial", "threads", "processes")
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,13 @@ class CPSJoinConfig:
         Number of parallel workers the repetition engine uses to run the
         independent repetitions (1 = sequential).  Results are deterministic
         for a fixed seed regardless of the worker count.
+    executor:
+        How parallel repetitions are dispatched: ``"serial"`` (in-process,
+        ignores ``workers``), ``"threads"`` (default; cheap to start, but the
+        GIL serializes pure-Python work) or ``"processes"`` (true multi-core:
+        the preprocessed collection is placed in shared memory once and
+        workers attach zero-copy).  The reported pair set is identical for
+        every executor at a fixed seed.
     """
 
     limit: int = 250
@@ -87,6 +95,7 @@ class CPSJoinConfig:
     seed: Optional[int] = None
     backend: str = "python"
     workers: int = 1
+    executor: str = "threads"
 
     def __post_init__(self) -> None:
         if self.limit < 1:
@@ -111,6 +120,8 @@ class CPSJoinConfig:
             raise ValueError(f"backend must be one of {_VALID_BACKENDS}")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.executor not in _VALID_EXECUTORS:
+            raise ValueError(f"executor must be one of {_VALID_EXECUTORS}")
 
     def with_seed(self, seed: Optional[int]) -> "CPSJoinConfig":
         """Return a copy of the configuration with a different seed."""

@@ -238,12 +238,15 @@ class CPSJoin:
         """Run the configured number of repetitions on a preprocessed collection.
 
         Repetitions are dispatched through the repetition engine, which honours
-        ``config.workers`` (parallel execution with deterministic merging) and
+        ``config.workers`` and ``config.executor`` (parallel execution with
+        deterministic merging — thread or shared-memory process workers) and
         reports wall-clock vs summed worker time separately.
         """
         from repro.core.repetition import RepetitionEngine
 
-        engine = RepetitionEngine(self, collection, workers=self.config.workers)
+        engine = RepetitionEngine(
+            self, collection, workers=self.config.workers, executor=self.config.executor
+        )
         return engine.run_fixed(self.config.repetitions)
 
     def run_once(self, collection: PreprocessedCollection, repetition: int = 0) -> JoinResult:

@@ -5,101 +5,137 @@ to a length-``t`` MinHash signature (the embedding of Section II-A) and to a
 1-bit minwise sketch of ``64 · ℓ`` bits.  The paper notes that this
 preprocessing is reusable across joins with different thresholds and
 therefore not counted in the reported join times; we follow the same
-convention — :class:`PreprocessedCollection` is built once per dataset and
-passed to the join engines, and its construction time is reported separately
-in :class:`repro.result.JoinStats.preprocessing_seconds`.
+convention — the artefacts are built once per dataset and passed to the join
+engines, with construction time reported separately in
+:class:`repro.result.JoinStats.preprocessing_seconds`.
+
+Since the shared-memory refactor, the artefacts themselves live in a
+:class:`repro.store.RecordStore` — flat numpy arrays (CSR token values and
+offsets, the signature matrix, packed sketches, record sizes, optional
+R ⋈ S side labels) that can be placed in a shared-memory segment and
+attached zero-copy by worker processes.  :class:`PreprocessedCollection` is
+a thin view over a store: it adds the lazily cached conveniences the scalar
+code paths want (record tuples, big-integer sketches) but owns no data of
+its own, so handing a collection to the process executor ships only the
+store's tiny :class:`repro.store.StoreHandle` — never pickled record
+objects.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.datasets.base import Record
-from repro.hashing.minhash import MinHasher, MinHashSignatures
-from repro.hashing.sketch import OneBitMinHashSketches, build_sketches
-from repro.result import Timer
+from repro.hashing.minhash import MinHashSignatures
+from repro.hashing.sketch import OneBitMinHashSketches
+from repro.store import RecordStore, SharedStoreLease
+from repro.store.record_store import normalize_records, validate_sides
 
 __all__ = ["PreprocessedCollection", "preprocess_collection"]
 
 
-@dataclass
 class PreprocessedCollection:
     """A collection of records plus the hashing artefacts the joins need.
 
+    A thin view over a :class:`repro.store.RecordStore`: ``signatures``,
+    ``sketches``, ``sides`` and the CSR token arrays are zero-copy views of
+    the store's flat arrays, while ``records`` (Python tuples, used by the
+    scalar reference backend and exact verification) and ``sketch_bigints``
+    are materialized lazily and cached — at most once per process, never per
+    repetition.
+
     Attributes
     ----------
-    records:
-        The original records as sorted token tuples (used for exact
-        verification).
-    signatures:
-        MinHash signatures of shape ``(n, t)``.
-    sketches:
-        Packed 1-bit minwise sketches of shape ``(n, ℓ)``.
-    preprocessing_seconds:
-        Wall-clock time spent building the signatures and sketches.
-    sides:
-        Optional per-record side labels for R ⋈ S joins: an ``int8`` array of
-        0 (record belongs to R) and 1 (record belongs to S).  When present,
-        the execution backends skip every same-side comparison, so only
-        cross-side pairs are counted, filtered, and verified.  ``None`` (the
-        default) means a plain self-join.
+    store:
+        The backing :class:`repro.store.RecordStore` (possibly attached to a
+        shared-memory segment inside a worker process).
     """
 
-    records: List[Record]
-    signatures: MinHashSignatures
-    sketches: OneBitMinHashSketches
-    preprocessing_seconds: float
-    sides: Optional[np.ndarray] = None
-    _packed_tokens: Optional[Tuple[np.ndarray, np.ndarray]] = field(
-        default=None, repr=False, compare=False
-    )
-    _sketch_bigints: Optional[List[int]] = field(default=None, repr=False, compare=False)
+    def __init__(self, store: RecordStore, records: Optional[List[Record]] = None) -> None:
+        self.store = store
+        self._records = records
+        self._signatures: Optional[MinHashSignatures] = None
+        self._sketches: Optional[OneBitMinHashSketches] = None
+        self._sketch_bigints: Optional[List[int]] = None
+
+    @classmethod
+    def from_store(cls, store: RecordStore) -> "PreprocessedCollection":
+        """Wrap a store (typically one attached inside a worker process)."""
+        return cls(store)
+
+    # ------------------------------------------------------------------ store views
+    @property
+    def records(self) -> List[Record]:
+        """The records as sorted token tuples (lazy view for the scalar paths).
+
+        The vectorized backend never touches this — it reads the CSR arrays
+        through :meth:`packed_tokens`.  The scalar reference backend (and the
+        exact algorithms) get the tuples materialized from the CSR arrays on
+        first access, cached for the life of the process.
+        """
+        if self._records is None:
+            self._records = self.store.record_tuples()
+        return self._records
+
+    @property
+    def signatures(self) -> MinHashSignatures:
+        """MinHash signatures of shape ``(n, t)`` (view of the store matrix)."""
+        if self._signatures is None:
+            self._signatures = MinHashSignatures(matrix=self.store.signature_matrix)
+        return self._signatures
+
+    @property
+    def sketches(self) -> OneBitMinHashSketches:
+        """Packed 1-bit minwise sketches of shape ``(n, ℓ)`` (store view)."""
+        if self._sketches is None:
+            self._sketches = OneBitMinHashSketches(words=self.store.sketch_words)
+        return self._sketches
+
+    @property
+    def sides(self) -> Optional[np.ndarray]:
+        """Optional per-record R ⋈ S side labels (0 = R, 1 = S); None = self-join."""
+        return self.store.sides
+
+    @property
+    def preprocessing_seconds(self) -> float:
+        """Wall-clock time spent building the signatures and sketches."""
+        return self.store.preprocessing_seconds
 
     @property
     def num_records(self) -> int:
-        return len(self.records)
+        return self.store.num_records
 
     @property
     def embedding_size(self) -> int:
-        return self.signatures.num_functions
+        return self.store.embedding_size
 
     def record_sizes(self) -> np.ndarray:
         """Sizes of all records as an int array (used by size filters)."""
-        return np.array([len(record) for record in self.records], dtype=np.int64)
+        return self.store.sizes
 
     def packed_tokens(self) -> Tuple[np.ndarray, np.ndarray]:
-        """CSR-style packed token arrays ``(values, offsets)``, built lazily.
+        """CSR-style packed token arrays ``(values, offsets)``.
 
         ``values`` concatenates every record's sorted tokens as ``int64``;
-        record ``i`` occupies ``values[offsets[i]:offsets[i + 1]]``.  The
-        arrays are cached on the collection so the vectorized backend packs
-        each dataset only once across repetitions.  Concurrent first calls
-        from parallel repetition workers are a benign race: both compute the
-        same arrays and the last assignment wins.
+        record ``i`` occupies ``values[offsets[i]:offsets[i + 1]]``.  These
+        are the store's own arrays — no packing happens here anymore, so the
+        call is free in every process, including shared-memory workers.
         """
-        if self._packed_tokens is None:
-            offsets = np.zeros(len(self.records) + 1, dtype=np.int64)
-            np.cumsum([len(record) for record in self.records], out=offsets[1:])
-            values = np.fromiter(
-                (token for record in self.records for token in record),
-                dtype=np.int64,
-                count=int(offsets[-1]),
-            )
-            self._packed_tokens = (values, offsets)
-        return self._packed_tokens
+        return self.store.token_values, self.store.token_offsets
 
     def sketch_bigints(self) -> List[int]:
         """Each record's 1-bit sketch as one Python integer, built lazily.
 
         The scalar fast paths compare sketches with ``int.bit_count()`` on
         these arbitrary-precision integers instead of dispatching numpy calls
-        on tiny arrays; cached like :meth:`packed_tokens` (same benign race).
+        on tiny arrays; cached per process.  Concurrent first calls from
+        parallel repetition threads are a benign race: both compute the same
+        list and the last assignment wins.
         """
         if self._sketch_bigints is None:
-            words = np.ascontiguousarray(self.sketches.words)
+            words = np.ascontiguousarray(self.store.sketch_words)
             row_bytes = words.shape[1] * words.dtype.itemsize
             raw = words.tobytes()
             self._sketch_bigints = [
@@ -107,6 +143,11 @@ class PreprocessedCollection:
                 for index in range(words.shape[0])
             ]
         return self._sketch_bigints
+
+    # ------------------------------------------------------------------ shared memory
+    def to_shared(self) -> SharedStoreLease:
+        """Place the backing store in shared memory (see :meth:`RecordStore.to_shared`)."""
+        return self.store.to_shared()
 
 
 def preprocess_collection(
@@ -133,31 +174,13 @@ def preprocess_collection(
         Optional per-record side labels (0 = R, 1 = S) for R ⋈ S joins; must
         have one entry per record.  ``None`` means a plain self-join.
     """
-    normalized: List[Record] = [tuple(sorted(set(int(token) for token in record))) for record in records]
-    for index, record in enumerate(normalized):
-        if not record:
-            raise ValueError(f"record {index} is empty; empty records cannot be joined")
-
-    side_array: Optional[np.ndarray] = None
-    if sides is not None:
-        side_array = np.asarray(list(sides), dtype=np.int8)
-        if side_array.ndim != 1 or side_array.shape[0] != len(normalized):
-            raise ValueError(
-                f"sides must have one entry per record: got {side_array.shape[0]} sides "
-                f"for {len(normalized)} records"
-            )
-        if side_array.size and not np.isin(side_array, (0, 1)).all():
-            raise ValueError("sides entries must be 0 (record in R) or 1 (record in S)")
-
-    with Timer() as timer:
-        minhasher = MinHasher(num_functions=embedding_size, seed=seed)
-        signatures = minhasher.signatures(normalized)
-        sketch_seed = None if seed is None else seed + 0x5EED
-        sketches = build_sketches(signatures.matrix, num_words=sketch_words, seed=sketch_seed)
-    return PreprocessedCollection(
-        records=normalized,
-        signatures=signatures,
-        sketches=sketches,
-        preprocessing_seconds=timer.elapsed,
+    normalized = normalize_records(records)
+    side_array = validate_sides(sides, len(normalized))
+    store = RecordStore.from_records(
+        normalized,
+        embedding_size=embedding_size,
+        sketch_words=sketch_words,
+        seed=seed,
         sides=side_array,
     )
+    return PreprocessedCollection(store, records=normalized)

@@ -8,9 +8,24 @@ empirically achieves more than 90 % recall on every dataset and threshold
 
 The repetitions are statistically independent — repetition ``r`` derives its
 randomness only from ``config.seed`` and ``r`` — so the engine can execute
-them on a pool of parallel workers (:mod:`concurrent.futures`) and still
-produce results that are bit-for-bit identical to a sequential run: results
-are always merged in repetition order, regardless of completion order.
+them on a pool of parallel workers and still produce results that are
+bit-for-bit identical to a sequential run: results are always merged in
+repetition order, regardless of completion order.  *How* the repetitions are
+dispatched is a pluggable **executor**:
+
+* ``"serial"`` — run in-process, one after the other (the reference).
+* ``"threads"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.  Cheap
+  to start and shares the collection for free, but the GIL serializes all
+  pure-Python work; it only helps when the numpy backend spends most of its
+  time inside C kernels.
+* ``"processes"`` — a :class:`~concurrent.futures.ProcessPoolExecutor` fed
+  through shared memory: the parent places the collection's
+  :class:`repro.store.RecordStore` in a shared segment once
+  (:meth:`~repro.store.RecordStore.to_shared`), ships only the tiny store
+  handle, the engine object and a shard of repetition ids to each worker,
+  and every worker attaches zero-copy and runs its shard through the staged
+  :class:`repro.engine.JoinEngine`.  No record objects are ever pickled;
+  results come back as plain pair sets and are merged in repetition order.
 
 Each repetition runs through the shared staged pipeline of
 :class:`repro.engine.JoinEngine` (the engines' ``run_once`` dispatches
@@ -35,21 +50,28 @@ level, exactly as the paper does.
 from __future__ import annotations
 
 import math
-from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import CPSJoinConfig
 from repro.core.preprocess import PreprocessedCollection, preprocess_collection
 from repro.result import JoinResult, JoinStats, Timer, canonical_pair
+from repro.store import RecordStore, StoreHandle
 
 __all__ = [
+    "EXECUTOR_NAMES",
     "RepetitionEngine",
     "RepetitionDriver",
     "join_with_target_recall",
     "repetitions_for_recall",
+    "process_pool_context",
 ]
 
 Pair = Tuple[int, int]
+
+EXECUTOR_NAMES = ("serial", "threads", "processes")
+"""Names accepted by ``executor=`` arguments throughout the library."""
 
 
 def repetitions_for_recall(single_run_recall: float, target_recall: float) -> int:
@@ -66,6 +88,66 @@ def repetitions_for_recall(single_run_recall: float, target_recall: float) -> in
     return max(1, math.ceil(math.log(1.0 - target_recall) / math.log(1.0 - single_run_recall)))
 
 
+def process_pool_context():
+    """The multiprocessing context the process executor uses.
+
+    ``fork`` on Linux (workers start in milliseconds and inherit the
+    imported modules), ``spawn`` everywhere else — macOS offers fork but
+    forking after the ObjC runtime / Accelerate BLAS initialize is unsafe,
+    which is why CPython made spawn the macOS default (bpo-33725).  Either
+    way the data travels through shared memory, not the inherited address
+    space, so the choice only affects startup latency.
+    """
+    import sys
+
+    if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+def shard_round_robin(count: int, shards: int, start: int = 0) -> List[List[int]]:
+    """Deal ``count`` items (numbered from ``start``) round-robin into shards.
+
+    Round-robin keeps the shards balanced when per-repetition cost drifts
+    with the repetition index; the merge re-orders by id anyway, so the
+    dealing order never affects results.
+    """
+    shards = max(1, min(shards, count))
+    dealt: List[List[int]] = [[] for _ in range(shards)]
+    for offset in range(count):
+        dealt[offset % shards].append(start + offset)
+    return dealt
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side.  A worker attaches the shared store once per segment
+# and caches the attachment for its lifetime: repeated tasks on the same
+# collection cost zero additional copies or pickling.
+# ---------------------------------------------------------------------------
+_WORKER_COLLECTIONS: Dict[str, PreprocessedCollection] = {}
+
+
+def _attached_collection(handle: StoreHandle) -> PreprocessedCollection:
+    """Attach (or reuse) the shared store behind ``handle`` in this worker."""
+    collection = _WORKER_COLLECTIONS.get(handle.segment_name)
+    if collection is None:
+        store = RecordStore.attach(handle)
+        collection = PreprocessedCollection.from_store(store)
+        _WORKER_COLLECTIONS[handle.segment_name] = collection
+    return collection
+
+
+def _run_repetition_shard(
+    handle: StoreHandle, engine, repetition_ids: Sequence[int]
+) -> List[Tuple[int, JoinResult]]:
+    """Run a shard of repetitions against the shared store (worker entry point)."""
+    collection = _attached_collection(handle)
+    return [
+        (repetition, engine.run_once(collection, repetition=repetition))
+        for repetition in repetition_ids
+    ]
+
+
 class RepetitionEngine:
     """Runs a randomized join engine repeatedly, accumulating results.
 
@@ -73,7 +155,9 @@ class RepetitionEngine:
     ----------
     engine:
         Any engine exposing ``run_once(collection, repetition=r)`` and a
-        ``threshold`` attribute (CPSJOIN in this repository).
+        ``threshold`` attribute (CPSJOIN in this repository).  The process
+        executor pickles the engine object itself — engines are small policy
+        objects (a threshold plus a config), never data carriers.
     collection:
         A preprocessed collection (shared read-only across repetitions, as in
         the paper where preprocessing is done once and excluded from join
@@ -82,9 +166,14 @@ class RepetitionEngine:
         the side labels travel with the collection into every repetition, and
         the deterministic merge is oblivious to them.
     workers:
-        Number of parallel workers.  ``1`` runs sequentially; larger values
-        dispatch repetitions to a thread pool.  The merged result is
-        independent of the worker count for a fixed engine seed.
+        Number of parallel workers.  ``1`` always runs sequentially.  The
+        merged result is independent of the worker count for a fixed engine
+        seed.
+    executor:
+        ``"serial"``, ``"threads"`` (default) or ``"processes"`` — see the
+        module docstring for the trade-offs.  ``"serial"`` ignores
+        ``workers``; with ``workers=1`` all executors reduce to the serial
+        path.
     """
 
     def __init__(
@@ -92,12 +181,50 @@ class RepetitionEngine:
         engine,
         collection: PreprocessedCollection,
         workers: int = 1,
+        executor: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        executor = "threads" if executor is None else str(executor).lower()
+        if executor not in EXECUTOR_NAMES:
+            raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTOR_NAMES}")
         self.engine = engine
         self.collection = collection
         self.workers = workers
+        self.executor = executor
+        self._lease = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Tear down the process pool and unlink the shared segment.
+
+        Idempotent and double-close safe; called automatically at the end of
+        :meth:`run_fixed` / :meth:`run_until_recall`.  A closed engine lazily
+        re-creates its resources on the next run.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        lease, self._lease = self._lease, None
+        if lease is not None:
+            lease.close()
+
+    def __enter__(self) -> "RepetitionEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        """Lazily create the shared segment and the worker pool (kept across waves)."""
+        if self._lease is None:
+            self._lease = self.collection.to_shared()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=process_pool_context()
+            )
+        return self._pool
 
     # ------------------------------------------------------------------ execution
     def _run_repetitions(self, count: int, start: int = 0) -> List[JoinResult]:
@@ -105,19 +232,41 @@ class RepetitionEngine:
 
         With ``workers > 1`` the repetitions execute concurrently but the
         returned list is always ordered by repetition number, making every
-        downstream merge deterministic.
+        downstream merge deterministic — and identical across executors.
         """
-        if self.workers == 1 or count <= 1:
+        if self.executor == "serial" or self.workers == 1 or count <= 1:
             return [
                 self.engine.run_once(self.collection, repetition=start + offset)
                 for offset in range(count)
             ]
+        if self.executor == "processes":
+            return self._run_repetitions_processes(count, start)
         with ThreadPoolExecutor(max_workers=min(self.workers, count)) as pool:
             futures = [
                 pool.submit(self.engine.run_once, self.collection, repetition=start + offset)
                 for offset in range(count)
             ]
             return [future.result() for future in futures]
+
+    def _run_repetitions_processes(self, count: int, start: int) -> List[JoinResult]:
+        """Dispatch repetition shards to worker processes over the shared store.
+
+        Each worker receives the store handle, the (pickled) engine and its
+        shard of repetition ids; it attaches the shared segment zero-copy and
+        runs the shard through the staged join engine.  Results are keyed by
+        repetition id and returned in repetition order.
+        """
+        pool = self._ensure_process_pool()
+        handle = self._lease.handle
+        shards = shard_round_robin(count, self.workers, start=start)
+        futures = [
+            pool.submit(_run_repetition_shard, handle, self.engine, shard) for shard in shards
+        ]
+        by_repetition: Dict[int, JoinResult] = {}
+        for future in futures:
+            for repetition, result in future.result():
+                by_repetition[repetition] = result
+        return [by_repetition[start + offset] for offset in range(count)]
 
     def _fresh_stats(self) -> JoinStats:
         return JoinStats(
@@ -135,10 +284,13 @@ class RepetitionEngine:
             raise ValueError("repetitions must be at least 1")
         pairs: Set[Pair] = set()
         stats = self._fresh_stats()
-        with Timer() as wall:
-            for result in self._run_repetitions(repetitions):
-                pairs |= result.pairs
-                stats.merge(result.stats)
+        try:
+            with Timer() as wall:
+                for result in self._run_repetitions(repetitions):
+                    pairs |= result.pairs
+                    stats.merge(result.stats)
+        finally:
+            self.close()
         stats.results = len(pairs)
         stats.elapsed_seconds = wall.elapsed
         return JoinResult(pairs=pairs, stats=stats)
@@ -157,33 +309,37 @@ class RepetitionEngine:
         repetitions stop once the target (90 % in the paper) is reached.
 
         With ``workers > 1`` repetitions are dispatched in waves of
-        ``workers``, but the recall check is still applied in repetition
-        order and merging stops at the first repetition meeting the target —
-        so the returned result is identical to a sequential run (surplus
-        repetitions of the final wave are computed but discarded).
+        ``workers`` (the process pool and shared segment persist across
+        waves), but the recall check is still applied in repetition order and
+        merging stops at the first repetition meeting the target — so the
+        returned result is identical to a sequential run (surplus repetitions
+        of the final wave are computed but discarded).
         """
         if not 0.0 < target_recall <= 1.0:
             raise ValueError("target_recall must be in (0, 1]")
         truth = {canonical_pair(*pair) for pair in ground_truth}
         pairs: Set[Pair] = set()
         stats = self._fresh_stats()
-        with Timer() as wall:
-            completed = 0
-            done = False
-            while completed < max_repetitions and not done:
-                wave = min(self.workers, max_repetitions - completed)
-                for result in self._run_repetitions(wave, start=completed):
-                    pairs |= result.pairs
-                    stats.merge(result.stats)
-                    completed += 1
-                    if not truth:
-                        done = True
-                        break
-                    recall = sum(1 for pair in truth if pair in pairs) / len(truth)
-                    stats.extra["measured_recall"] = recall
-                    if recall >= target_recall:
-                        done = True
-                        break
+        try:
+            with Timer() as wall:
+                completed = 0
+                done = False
+                while completed < max_repetitions and not done:
+                    wave = min(self.workers, max_repetitions - completed)
+                    for result in self._run_repetitions(wave, start=completed):
+                        pairs |= result.pairs
+                        stats.merge(result.stats)
+                        completed += 1
+                        if not truth:
+                            done = True
+                            break
+                        recall = sum(1 for pair in truth if pair in pairs) / len(truth)
+                        stats.extra["measured_recall"] = recall
+                        if recall >= target_recall:
+                            done = True
+                            break
+        finally:
+            self.close()
         stats.results = len(pairs)
         stats.elapsed_seconds = wall.elapsed
         return JoinResult(pairs=pairs, stats=stats)
@@ -193,8 +349,8 @@ class RepetitionDriver(RepetitionEngine):
     """Backward-compatible alias of :class:`RepetitionEngine`.
 
     The seed implementation exposed the sequential driver under this name;
-    it remains available (including the ``workers`` extension) for existing
-    callers.
+    it remains available (including the ``workers`` / ``executor``
+    extensions) for existing callers.
     """
 
 
@@ -221,5 +377,7 @@ def join_with_target_recall(
         sketch_words=config.sketch_words,
         seed=config.seed,
     )
-    driver = RepetitionEngine(engine, collection, workers=config.workers)
+    driver = RepetitionEngine(
+        engine, collection, workers=config.workers, executor=config.executor
+    )
     return driver.run_until_recall(ground_truth, target_recall=target_recall, max_repetitions=max_repetitions)

@@ -23,6 +23,7 @@ Sketching design choice         :mod:`repro.experiments.ablation_sketches`
 Backend micro-benchmark         :mod:`repro.experiments.backend_bench`
 R ⋈ S extension (Section IV)    :mod:`repro.experiments.rs_bench`
 Index serving extension         :mod:`repro.experiments.index_bench`
+Parallel executors (V-A.5)      :mod:`repro.experiments.parallel_bench`
 ==============================  =======================================
 """
 
@@ -38,4 +39,5 @@ __all__ = [
     "backend_bench",
     "rs_bench",
     "index_bench",
+    "parallel_bench",
 ]

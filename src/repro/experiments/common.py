@@ -10,7 +10,11 @@ runtime, with ``QUICK_SCALE`` used by the benchmark suite and tests and
 from __future__ import annotations
 
 import argparse
-from typing import Dict, List, Mapping, Optional, Sequence
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.datasets.base import Dataset
 from repro.datasets.profiles import DATASET_PROFILES, generate_profile_dataset
@@ -23,6 +27,7 @@ __all__ = [
     "load_datasets",
     "format_table",
     "make_parser",
+    "write_bench_json",
 ]
 
 PAPER_THRESHOLDS = (0.5, 0.6, 0.7, 0.8, 0.9)
@@ -75,6 +80,40 @@ def format_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequenc
     for row in rows:
         lines.append("  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns))
     return "\n".join(lines)
+
+
+def write_bench_json(
+    experiment: str,
+    rows: Sequence[Mapping[str, object]],
+    path: Union[str, Path],
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    meta: Optional[Mapping[str, object]] = None,
+) -> Path:
+    """Write an experiment's rows as a machine-readable ``BENCH_<name>.json``.
+
+    The artifact records the environment alongside the rows (CPU count,
+    Python version, platform) so perf numbers can be compared across PRs and
+    machines honestly — a 1-core CI runner reporting a 1× process speedup is
+    a property of the runner, not a regression.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment": experiment,
+        "scale": scale,
+        "seed": seed,
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "rows": [dict(row) for row in rows],
+    }
+    if meta:
+        payload["meta"] = dict(meta)
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n", encoding="utf-8")
+    return path
 
 
 def make_parser(description: str) -> argparse.ArgumentParser:

@@ -38,7 +38,7 @@ report.
 from __future__ import annotations
 
 import time
-from typing import Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -67,6 +67,48 @@ Match = Tuple[int, float]
 _WORD_BITS = 64
 _CANDIDATE_MODES = ("exact", "chosenpath", "lsh")
 _BACKENDS = ("python", "numpy")
+
+# ---------------------------------------------------------------------------
+# Process-executor side of query_batch: each worker holds one unpickled copy
+# of the index (shipped once per pool through the initializer) and serves
+# query chunks, returning matches plus its counter deltas.
+# ---------------------------------------------------------------------------
+_POOL_INDEX: Optional["SimilarityIndex"] = None
+
+
+def _query_pool_init(payload: bytes) -> None:
+    global _POOL_INDEX
+    import pickle
+
+    _POOL_INDEX = pickle.loads(payload)
+
+
+def _query_counters(stats: "JoinStats") -> Dict[str, float]:
+    """The counter deltas a query worker reports back to the parent."""
+    return {
+        "pre_candidates": float(stats.pre_candidates),
+        "candidates": float(stats.candidates),
+        "verified": float(stats.verified),
+        "candidate_seconds": stats.candidate_seconds,
+        "filter_seconds": stats.filter_seconds,
+        "verify_seconds": stats.verify_seconds,
+        "queries": stats.extra.get("queries", 0.0),
+    }
+
+
+def _query_pool_chunk(chunk, excludes):
+    assert _POOL_INDEX is not None, "query pool worker used before initialization"
+    stats = JoinStats(algorithm="SIMINDEX", threshold=_POOL_INDEX.threshold)
+    matches = _POOL_INDEX._query_chunk(chunk, excludes, stats)
+    return matches, _query_counters(stats)
+
+
+def _signature_block_worker(minhasher: MinHasher, records: List[Record]) -> np.ndarray:
+    """Compute the MinHash signatures of a record shard (build-time worker)."""
+    block = np.empty((len(records), minhasher.num_functions), dtype=np.uint64)
+    for position, record in enumerate(records):
+        block[position] = minhasher.signature(record)
+    return block
 
 
 class _PostingLists:
@@ -165,6 +207,15 @@ class SimilarityIndex:
         structures).  Incremental growth is deterministic for a fixed seed.
     batch_size:
         Queries per internal batch of :meth:`query_batch` (memory bound).
+    workers:
+        Parallel workers for :meth:`query_batch` (query chunks are dealt to
+        the workers) and for the bulk signature computation of
+        :meth:`insert_all`.  Queries are pure reads, so results are
+        identical for any worker count.
+    executor:
+        How parallel work is dispatched: ``"serial"``, ``"threads"``
+        (default) or ``"processes"`` (workers receive the pickled index once
+        per pool and stream back matches plus counter deltas).
     chosen_path_depth / chosen_path_repetitions / lsh_bands / lsh_rows:
         Parameters of the approximate candidate structures.
     """
@@ -180,11 +231,15 @@ class SimilarityIndex:
         sketch_words: int = 8,
         sketch_false_negative_rate: float = 0.05,
         batch_size: int = 1024,
+        workers: int = 1,
+        executor: Optional[str] = None,
         chosen_path_depth: int = 3,
         chosen_path_repetitions: int = 12,
         lsh_bands: int = 32,
         lsh_rows: int = 4,
     ) -> None:
+        from repro.core.repetition import EXECUTOR_NAMES
+
         if not 0.0 < threshold <= 1.0:
             # (0, 1] like the batch joins; λ = 1.0 is exact-duplicate lookup.
             raise ValueError("threshold must be in (0, 1]")
@@ -195,12 +250,24 @@ class SimilarityIndex:
             raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        executor_name = "threads" if executor is None else str(executor).lower()
+        if executor_name not in EXECUTOR_NAMES:
+            raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTOR_NAMES}")
         self.threshold = threshold
         self.candidates = candidates
         self.backend = backend_name
         self.seed = seed
         self.use_sketches = (candidates != "exact") if use_sketches is None else bool(use_sketches)
         self.batch_size = batch_size
+        self.workers = workers
+        self.executor = executor_name
+        # Lazily created process pool for parallel query batches: kept alive
+        # across calls while (executor, workers, record count) are unchanged,
+        # so repeated batches don't re-pickle the index or re-fork workers.
+        self._query_pool = None
+        self._query_pool_key = None
         self.stats = JoinStats(algorithm="SIMINDEX", threshold=threshold)
 
         self._records: List[Record] = []
@@ -302,11 +369,7 @@ class SimilarityIndex:
         ids: List[int] = []
         if normalized_list:
             assert self._minhasher is not None and self._sketcher is not None
-            signatures = np.empty(
-                (len(normalized_list), self._minhasher.num_functions), dtype=np.uint64
-            )
-            for position, normalized in enumerate(normalized_list):
-                signatures[position] = self._minhasher.signature(normalized)
+            signatures = self._signature_block(normalized_list)
             rows = self._sketcher.sketch_rows(signatures)
             ids = [
                 self._insert_normalized(normalized, rows[position])
@@ -315,6 +378,45 @@ class SimilarityIndex:
         self.stats.index_build_seconds += time.perf_counter() - started
         self.stats.num_records = len(self._records)
         return ids
+
+    _PARALLEL_BUILD_MINIMUM = 512
+    """Below this many records a parallel signature build cannot pay for itself."""
+
+    def _signature_block(self, normalized_list: List[Record]) -> np.ndarray:
+        """MinHash signatures of a record block, on parallel workers when asked.
+
+        Each record's signature depends only on the record and the hasher's
+        seed, so sharding the block across workers is trivially deterministic.
+        The incremental candidate structures are still fed serially — only
+        the hashing (the dominant build cost) fans out.
+        """
+        assert self._minhasher is not None
+        if (
+            self.workers == 1
+            or self.executor == "serial"
+            or len(normalized_list) < self._PARALLEL_BUILD_MINIMUM
+        ):
+            return _signature_block_worker(self._minhasher, normalized_list)
+        from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+        from repro.core.repetition import process_pool_context
+
+        shard_count = min(self.workers, len(normalized_list))
+        bounds = np.linspace(0, len(normalized_list), shard_count + 1, dtype=int)
+        shards = [
+            normalized_list[bounds[index] : bounds[index + 1]] for index in range(shard_count)
+        ]
+        if self.executor == "processes":
+            pool = ProcessPoolExecutor(max_workers=shard_count, mp_context=process_pool_context())
+        else:
+            pool = ThreadPoolExecutor(max_workers=shard_count)
+        with pool:
+            futures = [
+                pool.submit(_signature_block_worker, self._minhasher, shard)
+                for shard in shards
+            ]
+            blocks = [future.result() for future in futures]
+        return np.concatenate(blocks, axis=0)
 
     def _insert_normalized(self, normalized: Record, sketch_row: Optional[np.ndarray]) -> int:
         """Append one normalized record to every storage structure (untimed)."""
@@ -401,23 +503,134 @@ class SimilarityIndex:
         to omit from its result (e.g. the query's own id when querying the
         index with its own members).  Returns one match list per query,
         aligned with the input order.
+
+        With ``workers > 1`` the chunks are dealt to parallel workers
+        (threads, or processes each holding one pickled copy of the index);
+        queries are pure reads, so the returned matches are identical to a
+        serial run, and the workers' counter deltas are folded back into
+        :attr:`stats`.
         """
         if exclude_ids is not None and len(exclude_ids) != len(records):
             raise ValueError("exclude_ids must have one entry per query record")
-        results: List[List[Match]] = []
+        chunks: List[Tuple[Sequence[Sequence[int]], List[Optional[int]]]] = []
         for start in range(0, len(records), self.batch_size):
             chunk = records[start : start + self.batch_size]
             excludes = (
-                exclude_ids[start : start + self.batch_size]
+                list(exclude_ids[start : start + self.batch_size])
                 if exclude_ids is not None
                 else [None] * len(chunk)
             )
-            normalized_chunk = [self._normalize_query(record) for record in chunk]
-            sketch_block = self._sketch_block(normalized_chunk)
-            for position, (normalized, exclude) in enumerate(zip(normalized_chunk, excludes)):
-                query_words = sketch_block[position] if sketch_block is not None else None
-                results.append(self._query_one(normalized, exclude, query_words))
+            chunks.append((chunk, excludes))
+        if self.workers == 1 or self.executor == "serial" or len(chunks) <= 1:
+            results: List[List[Match]] = []
+            for chunk, excludes in chunks:
+                results.extend(self._query_chunk(chunk, excludes, self.stats))
+            return results
+        return self._query_batch_parallel(chunks)
+
+    def _query_batch_parallel(
+        self, chunks: List[Tuple[Sequence[Sequence[int]], List[Optional[int]]]]
+    ) -> List[List[Match]]:
+        """Run query chunks on parallel workers, merging counter deltas."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        results: List[List[Match]] = []
+        if self.executor == "processes":
+            pool = self._ensure_query_pool()
+            try:
+                futures = [
+                    pool.submit(_query_pool_chunk, chunk, excludes)
+                    for chunk, excludes in chunks
+                ]
+                for future in futures:
+                    matches, counters = future.result()
+                    results.extend(matches)
+                    self._merge_query_counters(counters)
+            except BaseException:
+                # Never cache a broken pool: a crashed worker would otherwise
+                # wedge every later query_batch until a manual close().
+                self.close()
+                raise
+        else:  # threads: the index is shared read-only, each chunk gets private stats
+            max_workers = min(self.workers, len(chunks))
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                futures = []
+                for chunk, excludes in chunks:
+                    stats = JoinStats(algorithm="SIMINDEX", threshold=self.threshold)
+                    futures.append(
+                        (pool.submit(self._query_chunk, chunk, excludes, stats), stats)
+                    )
+                for future, stats in futures:
+                    results.extend(future.result())
+                    self._merge_query_counters(_query_counters(stats))
         return results
+
+    def _ensure_query_pool(self):
+        """The persistent process pool for parallel queries (rebuilt on change).
+
+        Workers hold a pickled snapshot of the index, so the pool is keyed by
+        ``(executor, workers, record count)``: any insert — or a change of
+        the parallelism settings — invalidates it and the next parallel
+        batch ships a fresh snapshot.  Call :meth:`close` to release the
+        workers explicitly; pickling and GC also tear the pool down.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.core.repetition import process_pool_context
+
+        key = (self.executor, self.workers, len(self._records))
+        if self._query_pool is not None and self._query_pool_key == key:
+            return self._query_pool
+        self.close()
+        import pickle
+
+        self._query_pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=process_pool_context(),
+            initializer=_query_pool_init,
+            initargs=(pickle.dumps(self),),
+        )
+        self._query_pool_key = key
+        return self._query_pool
+
+    def close(self) -> None:
+        """Shut down the parallel query pool, if any (idempotent)."""
+        pool, self._query_pool = self._query_pool, None
+        self._query_pool_key = None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _query_chunk(
+        self,
+        chunk: Sequence[Sequence[int]],
+        excludes: Sequence[Optional[int]],
+        stats: JoinStats,
+    ) -> List[List[Match]]:
+        """Serve one chunk of queries, accounting into the given stats object."""
+        normalized_chunk = [self._normalize_query(record) for record in chunk]
+        sketch_block = self._sketch_block(normalized_chunk, stats)
+        results: List[List[Match]] = []
+        for position, (normalized, exclude) in enumerate(zip(normalized_chunk, excludes)):
+            query_words = sketch_block[position] if sketch_block is not None else None
+            results.append(self._query_one(normalized, exclude, query_words, stats))
+        return results
+
+    def _merge_query_counters(self, counters: Dict[str, float]) -> None:
+        """Fold a worker's counter deltas into the index-wide statistics."""
+        stats = self.stats
+        stats.pre_candidates += int(counters.get("pre_candidates", 0))
+        stats.candidates += int(counters.get("candidates", 0))
+        stats.verified += int(counters.get("verified", 0))
+        stats.candidate_seconds += counters.get("candidate_seconds", 0.0)
+        stats.filter_seconds += counters.get("filter_seconds", 0.0)
+        stats.verify_seconds += counters.get("verify_seconds", 0.0)
+        stats.extra["queries"] = stats.extra.get("queries", 0.0) + counters.get("queries", 0.0)
 
     def self_join_pairs(self) -> Set[Pair]:
         """All similar pairs among the indexed records, via point lookups.
@@ -441,7 +654,9 @@ class SimilarityIndex:
             raise ValueError("cannot query with an empty record")
         return normalized
 
-    def _sketch_block(self, normalized_chunk: List[Record]) -> Optional[np.ndarray]:
+    def _sketch_block(
+        self, normalized_chunk: List[Record], stats: Optional[JoinStats] = None
+    ) -> Optional[np.ndarray]:
         """Vectorized query sketches for one chunk (None when sketches are off).
 
         Counted as filter-stage time: the sketches exist only to feed the
@@ -449,15 +664,12 @@ class SimilarityIndex:
         """
         if not self.use_sketches or not normalized_chunk:
             return None
+        stats = stats if stats is not None else self.stats
         assert self._minhasher is not None and self._sketcher is not None
         started = time.perf_counter()
-        signatures = np.empty(
-            (len(normalized_chunk), self._minhasher.num_functions), dtype=np.uint64
-        )
-        for position, normalized in enumerate(normalized_chunk):
-            signatures[position] = self._minhasher.signature(normalized)
+        signatures = _signature_block_worker(self._minhasher, list(normalized_chunk))
         block = self._sketcher.sketch_rows(signatures)
-        self.stats.filter_seconds += time.perf_counter() - started
+        stats.filter_seconds += time.perf_counter() - started
         return block
 
     def _filter_candidates(
@@ -465,6 +677,7 @@ class SimilarityIndex:
         normalized: Record,
         candidate_ids: np.ndarray,
         query_words: Optional[np.ndarray],
+        stats: Optional[JoinStats] = None,
     ) -> np.ndarray:
         """SketchFilterStage: size probe plus optional 1-bit sketch filter.
 
@@ -477,7 +690,7 @@ class SimilarityIndex:
         join engine, and updates the filter timing and candidate/verified
         counters.
         """
-        stats = self.stats
+        stats = stats if stats is not None else self.stats
         started = time.perf_counter()
         passing = size_compatible_mask(
             len(normalized), self._sizes[candidate_ids], self.threshold
@@ -502,11 +715,12 @@ class SimilarityIndex:
         normalized: Record,
         exclude: Optional[int],
         query_words: Optional[np.ndarray] = None,
+        stats: Optional[JoinStats] = None,
     ) -> List[Match]:
-        stats = self.stats
+        stats = stats if stats is not None else self.stats
         stats.extra["queries"] = stats.extra.get("queries", 0.0) + 1.0
         if self.candidates == "exact" and self.backend == "numpy":
-            return self._query_one_scancount(normalized, exclude, query_words)
+            return self._query_one_scancount(normalized, exclude, query_words, stats)
 
         # Candidate stage.
         started = time.perf_counter()
@@ -518,7 +732,9 @@ class SimilarityIndex:
         if candidate_ids.size == 0:
             return []
 
-        candidate_ids = candidate_ids[self._filter_candidates(normalized, candidate_ids, query_words)]
+        candidate_ids = candidate_ids[
+            self._filter_candidates(normalized, candidate_ids, query_words, stats)
+        ]
         if candidate_ids.size == 0:
             return []
 
@@ -533,6 +749,7 @@ class SimilarityIndex:
         normalized: Record,
         exclude: Optional[int],
         query_words: Optional[np.ndarray] = None,
+        stats: Optional[JoinStats] = None,
     ) -> List[Match]:
         """Fused exact query for the numpy backend (ScanCount).
 
@@ -547,7 +764,7 @@ class SimilarityIndex:
         :meth:`_filter_candidates` stage, and every filter survivor counts
         as verified.
         """
-        stats = self.stats
+        stats = stats if stats is not None else self.stats
 
         # Candidate stage: merged postings -> per-record overlap counts.
         started = time.perf_counter()
@@ -575,7 +792,7 @@ class SimilarityIndex:
         if candidate_ids.size == 0:
             return []
 
-        mask = self._filter_candidates(normalized, candidate_ids, query_words)
+        mask = self._filter_candidates(normalized, candidate_ids, query_words, stats)
         candidate_ids, overlaps = candidate_ids[mask], overlaps[mask]
         if candidate_ids.size == 0:
             return []
@@ -643,6 +860,23 @@ class SimilarityIndex:
         return matches
 
     # ------------------------------------------------------------------ introspection
+    def __getstate__(self) -> dict:
+        # The live worker pool never travels with a pickle (worker copies
+        # rebuild their own serial view; the parent re-creates pools lazily).
+        state = dict(self.__dict__)
+        state["_query_pool"] = None
+        state["_query_pool_key"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        # Indexes pickled before the executor refactor carry no worker
+        # settings; default them so old pickles keep loading.
+        self.__dict__.update(state)
+        self.__dict__.setdefault("workers", 1)
+        self.__dict__.setdefault("executor", "threads")
+        self.__dict__.setdefault("_query_pool", None)
+        self.__dict__.setdefault("_query_pool_key", None)
+
     def __iter__(self) -> Iterator[Record]:
         return iter(self._records)
 

@@ -72,6 +72,7 @@ def _effective_cpsjoin_config(
     seed: Optional[int],
     backend: Optional[str],
     workers: Optional[int],
+    executor: Optional[str],
 ) -> CPSJoinConfig:
     """Resolve the CPSJOIN configuration from the public API arguments.
 
@@ -87,6 +88,8 @@ def _effective_cpsjoin_config(
         overrides["backend"] = backend
     if workers is not None:
         overrides["workers"] = workers
+    if executor is not None:
+        overrides["executor"] = executor
     if overrides:
         effective = effective.with_overrides(**overrides)
     return effective
@@ -100,6 +103,7 @@ def similarity_join(
     seed: Optional[int] = None,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> JoinResult:
     """Compute the set similarity self-join of a collection.
 
@@ -125,8 +129,17 @@ def similarity_join(
         ``"numpy"``); used by ``cpsjoin``, ``minhash`` and ``bayeslsh`` and
         ignored by the exact algorithms.  Overrides ``config.backend``.
     workers:
-        Parallel repetition workers for ``cpsjoin`` (overrides
-        ``config.workers``); ignored by the other algorithms.
+        Parallel workers for the randomized algorithms: CPSJOIN runs its
+        repetitions and MinHash LSH its bucketing rounds on this many workers
+        (overriding ``config.workers`` for cpsjoin); results are
+        seed-deterministic for any worker count.  ``bayeslsh`` has no
+        parallel path and raises a clear error for ``workers > 1``; the exact
+        algorithms ignore the argument.
+    executor:
+        How parallel work is dispatched: ``"serial"``, ``"threads"``
+        (default) or ``"processes"`` (shared-memory workers; see
+        :mod:`repro.core.repetition`).  Overrides ``config.executor`` for
+        cpsjoin.
 
     Returns
     -------
@@ -136,7 +149,7 @@ def similarity_join(
     """
     normalized = _normalize_records(records)
     return _dispatch_join(
-        normalized, threshold, algorithm, config, seed, backend, workers, sides=None
+        normalized, threshold, algorithm, config, seed, backend, workers, executor, sides=None
     )
 
 
@@ -148,17 +161,26 @@ def _dispatch_join(
     seed: Optional[int],
     backend: Optional[str],
     workers: Optional[int],
+    executor: Optional[str],
     sides: Optional[Sequence[int]],
 ) -> JoinResult:
     """Run one algorithm on already normalized records (optionally side-aware)."""
     name = algorithm.lower()
     if name == "cpsjoin":
-        effective = _effective_cpsjoin_config(config, seed, backend, workers)
+        effective = _effective_cpsjoin_config(config, seed, backend, workers, executor)
         return CPSJoin(threshold, effective).join(normalized, sides=sides)
     if name == "minhash":
-        return MinHashLSHJoin(threshold, seed=seed, backend=backend).join(normalized, sides=sides)
+        return MinHashLSHJoin(
+            threshold,
+            seed=seed,
+            backend=backend,
+            workers=1 if workers is None else workers,
+            executor=executor,
+        ).join(normalized, sides=sides)
     if name == "bayeslsh":
-        return BayesLSHJoin(threshold, seed=seed, backend=backend).join(normalized, sides=sides)
+        return BayesLSHJoin(
+            threshold, seed=seed, backend=backend, workers=workers, executor=executor
+        ).join(normalized, sides=sides)
     if sides is not None:
         raise ValueError(
             f"algorithm {algorithm!r} has no native side-aware path; "
@@ -182,6 +204,7 @@ def similarity_join_rs(
     seed: Optional[int] = None,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    executor: Optional[str] = None,
     native: bool = True,
 ) -> JoinResult:
     """Compute the R ⋈ S similarity join of two collections.
@@ -221,7 +244,7 @@ def similarity_join_rs(
     if native and name in NATIVE_RS_ALGORITHMS:
         sides = [0] * split + [1] * len(normalized_right)
         union_result = _dispatch_join(
-            union, threshold, algorithm, config, seed, backend, workers, sides=sides
+            union, threshold, algorithm, config, seed, backend, workers, executor, sides=sides
         )
         # Every reported pair is cross-side by construction: (i, j) with
         # i < split <= j in union indexing maps to (i, j - split).
@@ -231,7 +254,7 @@ def similarity_join_rs(
         extra["same_side_verified"] = 0.0
     else:
         union_result = _dispatch_join(
-            union, threshold, algorithm, config, seed, backend, workers, sides=None
+            union, threshold, algorithm, config, seed, backend, workers, executor, sides=None
         )
         cross_pairs: Set[Tuple[int, int]] = set()
         for first, second in union_result.pairs:

@@ -154,6 +154,35 @@ class TestIndexBench:
         assert row["queries_per_second"] > 0.0
 
 
+class TestParallelBench:
+    def test_smoke_rows_and_artifact(self, tmp_path) -> None:
+        from repro.experiments import parallel_bench
+
+        out_json = tmp_path / "BENCH_parallel.json"
+        rows = parallel_bench.run(
+            scale=0.04,
+            seed=19,
+            repetitions=2,
+            trials=1,
+            worker_counts=(1, 2),
+            workloads=[("UNIFORM005", 4.0)],
+            out_json=str(out_json),
+        )
+        # 2 executors x 2 worker counts on one workload.
+        assert len(rows) == 4
+        assert {row["executor"] for row in rows} == {"threads", "processes"}
+        for row in rows:
+            assert row["identical_pairs"] is True
+            assert row["seconds"] >= 0.0
+            assert row["speedup_vs_1"] is not None  # workers=1 is in the sweep
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert payload["experiment"] == "parallel-bench"
+        assert payload["environment"]["cpu_count"] is not None
+        assert len(payload["rows"]) == 4
+
+
 class TestAblations:
     def test_stopping_strategies_all_present(self) -> None:
         rows = ablation_stopping.run(names=["UNIFORM005"], scale=0.08, seed=14, repetitions=2)
