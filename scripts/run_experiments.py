@@ -33,6 +33,7 @@ from repro.experiments import (
     index_bench,
     parallel_bench,
     rs_bench,
+    serve_bench,
     table1,
     table2,
     table4,
@@ -153,6 +154,13 @@ def main() -> None:
         None,
         parallel_bench.run(
             scale=args.scale, seed=args.seed, out_json=str(json_dir / "BENCH_parallel.json")
+        ),
+    )
+    section(
+        "Serving benchmark — throughput/latency vs query-coalescing settings",
+        None,
+        serve_bench.run(
+            scale=args.scale, seed=args.seed, out_json=str(json_dir / "BENCH_serve.json")
         ),
     )
     section(

@@ -1,0 +1,78 @@
+"""Client driver for the CI server smoke leg.
+
+Talks to a ``repro-join serve`` instance started in the background with
+``--port-file`` and writes its query answers in exactly the CSV format of
+``repro-join index query``, so the smoke leg can ``diff`` a server
+transcript against the offline reference directly.
+
+Usage::
+
+    # wait for the port file, insert records, then query and write CSV
+    python scripts/serve_smoke_client.py insert-and-query PORT_FILE INSERTS QUERIES OUT_CSV
+
+    # wait for the port file, query only
+    python scripts/serve_smoke_client.py query PORT_FILE QUERIES OUT_CSV
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.datasets.io import read_dataset
+from repro.evaluation.reports import rows_to_csv
+from repro.service import ServiceClient
+
+
+def wait_for_port_file(path: Path, timeout: float = 60.0) -> tuple:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists():
+            content = path.read_text().split()
+            if len(content) == 2:
+                return content[0], int(content[1])
+        time.sleep(0.05)
+    raise SystemExit(f"server never wrote its port file at {path}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("mode", choices=["query", "insert-and-query"])
+    parser.add_argument("port_file", type=Path)
+    parser.add_argument("files", nargs="+", type=Path, help="[inserts] queries out_csv")
+    args = parser.parse_args()
+
+    expected = 3 if args.mode == "insert-and-query" else 2
+    if len(args.files) != expected:
+        parser.error(f"mode {args.mode!r} takes {expected} file arguments")
+    inserts_path = args.files[0] if args.mode == "insert-and-query" else None
+    queries_path, out_path = args.files[-2], args.files[-1]
+
+    host, port = wait_for_port_file(args.port_file)
+    with ServiceClient.connect(host, port, retry_for=30.0) as client:
+        if inserts_path is not None:
+            for record in read_dataset(inserts_path).records:
+                client.insert(record)
+        rows = []
+        queries = read_dataset(queries_path).records
+        for query_id, matches in enumerate(client.query_batch(queries)):
+            for record_id, similarity in matches:
+                rows.append(
+                    {"query": query_id, "match": record_id, "similarity": f"{similarity:.6f}"}
+                )
+        report = client.stats()
+    out_path.write_text(
+        rows_to_csv(rows, columns=["query", "match", "similarity"]), encoding="utf-8"
+    )
+    print(
+        f"# {len(queries)} queries, {len(rows)} matches against {report['records']} records "
+        f"(wal_replayed={report['server']['wal_replayed']})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

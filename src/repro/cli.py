@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Five subcommands cover the day-to-day uses of the library without writing any
+Six subcommands cover the day-to-day uses of the library without writing any
 Python:
 
 * ``repro-join join`` — run a similarity self-join over a token-set file
@@ -10,9 +10,14 @@ Python:
   algorithms): the reported pairs are (left index, right index).
 * ``repro-join index`` — the build-once/query-many workflow: ``index build``
   constructs a :class:`repro.index.SimilarityIndex` over a dataset file and
-  pickles it; ``index query`` loads the pickle and runs point lookups from a
-  query file (optionally inserting each query afterwards, the streaming
-  deduplication shape).
+  saves it (versioned format, old bare pickles still load); ``index query``
+  loads the file and runs point lookups from a query file (optionally
+  inserting each query afterwards, the streaming deduplication shape).
+* ``repro-join serve`` — the online version of the above: keep a
+  :class:`SimilarityIndex` resident in an asyncio server
+  (:mod:`repro.service`) answering ``query``/``insert``/``stats``/``health``
+  over a JSON-lines TCP protocol, with micro-batched queries and optional
+  snapshot + WAL persistence (``--data-dir``) surviving kills.
 * ``repro-join generate`` — generate one of the surrogate datasets (or a
   synthetic TOKENS / UNIFORM / ZIPF collection) and write it in the same
   format.
@@ -20,7 +25,8 @@ Python:
 * ``repro-join experiment`` — run one of the paper's experiments by name
   (``table1``, ``table2``, ``figure2``, ``figure3``, ``table4``,
   ``tokens``, ``ablation-stopping``, ``ablation-sketches``,
-  ``backend-bench``, ``rs-bench``, ``index-bench``, ``parallel-bench``).
+  ``backend-bench``, ``rs-bench``, ``index-bench``, ``parallel-bench``,
+  ``serve-bench``).
 
 Examples::
 
@@ -28,6 +34,7 @@ Examples::
     repro-join join netflix.txt --threshold 0.7 --algorithm cpsjoin --out pairs.csv
     repro-join index build netflix.txt --threshold 0.7 --out netflix.index.pkl
     repro-join index query netflix.index.pkl queries.txt --out matches.csv
+    repro-join serve netflix.txt --threshold 0.7 --port 7777 --data-dir ./serve-state
     repro-join stats netflix.txt
     repro-join experiment figure2 --scale 0.2
 """
@@ -155,6 +162,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the loaded index's executor for this run",
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve a resident SimilarityIndex over TCP (JSON-lines protocol)"
+    )
+    serve_parser.add_argument(
+        "input",
+        type=str,
+        nargs="?",
+        default=None,
+        help="dataset file for the initial index build; omit to start empty or to "
+        "resume purely from --data-dir (an existing snapshot always wins over this)",
+    )
+    serve_parser.add_argument(
+        "--data-dir",
+        type=str,
+        default=None,
+        help="directory for snapshot + write-ahead-log persistence: inserts are "
+        "WAL-logged before they are acknowledged and replayed on restart, so a "
+        "killed server loses nothing (omit for a pure in-memory server)",
+    )
+    serve_parser.add_argument(
+        # None defaults (not 0.5/"exact") so a snapshot-mismatch warning can
+        # tell an explicit flag from an untouched default.
+        "--threshold", type=float, default=None, help="Jaccard threshold (default 0.5)"
+    )
+    serve_parser.add_argument(
+        "--candidates", choices=["exact", "chosenpath", "lsh"], default=None,
+        help="candidate structure of the served index (default exact)",
+    )
+    serve_parser.add_argument(
+        "--backend", choices=["python", "numpy"], default=None,
+        help="verification backend for queries (default python)",
+    )
+    serve_parser.add_argument("--seed", type=int, default=None, help="seed for the index hashing")
+    serve_parser.add_argument(
+        "--workers", type=int, default=None, help="parallel query workers of the served index"
+    )
+    serve_parser.add_argument(
+        "--executor", choices=["serial", "threads", "processes"], default=None,
+        help="executor of the served index (default threads)",
+    )
+    serve_parser.add_argument("--host", type=str, default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument(
+        "--port", type=int, default=0, help="bind port (default 0: pick an ephemeral port)"
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=64,
+        help="coalescer: dispatch a query batch at this many pending queries (default 64)",
+    )
+    serve_parser.add_argument(
+        "--max-linger-ms", type=float, default=2.0,
+        help="coalescer: dispatch at most this many ms after the first pending query "
+        "(default 2.0; 0 coalesces only queries arriving in the same event-loop tick)",
+    )
+    serve_parser.add_argument(
+        "--snapshot-every", type=int, default=512,
+        help="write a snapshot and truncate the WAL every N inserts (default 512; "
+        "0 snapshots only on clean shutdown)",
+    )
+    serve_parser.add_argument(
+        "--no-wal-sync", action="store_true",
+        help="skip the per-insert fsync of the WAL (faster; still survives a process "
+        "kill, but not an OS crash)",
+    )
+    serve_parser.add_argument(
+        "--port-file", type=str, default=None,
+        help="write 'host port' to this file once the server is listening "
+        "(for scripts starting the server in the background)",
+    )
+
     generate_parser = subparsers.add_parser("generate", help="generate a surrogate or synthetic dataset")
     generate_parser.add_argument("name", type=str, help="profile name, e.g. NETFLIX, AOL, TOKENS10K, UNIFORM005")
     generate_parser.add_argument("--scale", type=float, default=1.0)
@@ -180,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
             "rs-bench",
             "index-bench",
             "parallel-bench",
+            "serve-bench",
         ],
     )
     experiment_parser.add_argument("--scale", type=float, default=0.3)
@@ -236,9 +313,7 @@ def _command_join(args: argparse.Namespace) -> int:
 
 
 def _command_index(args: argparse.Namespace) -> int:
-    import pickle
-
-    from repro.index import SimilarityIndex
+    from repro.index import IndexPersistenceError, SimilarityIndex
 
     if args.index_command == "build":
         dataset = read_dataset(args.input)
@@ -255,8 +330,7 @@ def _command_index(args: argparse.Namespace) -> int:
             seed=args.seed,
             **options,
         )
-        with open(args.out, "wb") as handle:
-            pickle.dump(index, handle)
+        index.save(args.out)
         print(
             f"indexed {len(index)} records at threshold {index.threshold} "
             f"({index.candidates} candidates, {index.backend} backend) in "
@@ -265,10 +339,10 @@ def _command_index(args: argparse.Namespace) -> int:
         return 0
 
     # index query
-    with open(args.index, "rb") as handle:
-        index = pickle.load(handle)
-    if not isinstance(index, SimilarityIndex):
-        raise SystemExit(f"{args.index} does not contain a SimilarityIndex pickle")
+    try:
+        index = SimilarityIndex.load(args.index)
+    except IndexPersistenceError as error:
+        raise SystemExit(str(error))
     if args.workers is not None:
         if args.workers < 1:
             raise SystemExit("workers must be at least 1")
@@ -278,8 +352,7 @@ def _command_index(args: argparse.Namespace) -> int:
     queries = read_dataset(args.queries)
     # A loaded index carries the stats of every previous session; report the
     # timing of *this* run as deltas against the loaded snapshot.
-    loaded = index.stats
-    before = (loaded.candidate_seconds, loaded.filter_seconds, loaded.verify_seconds)
+    before = index.stats.snapshot()
     rows = []
     if args.insert:
         # Streaming shape: each query must see the records inserted before it,
@@ -302,12 +375,11 @@ def _command_index(args: argparse.Namespace) -> int:
     else:
         sys.stdout.write(csv_text)
     if args.insert:
-        with open(args.index, "wb") as handle:
-            pickle.dump(index, handle)
-    stats = index.stats
-    candidate = stats.candidate_seconds - before[0]
-    filtering = stats.filter_seconds - before[1]
-    verify = stats.verify_seconds - before[2]
+        index.save(args.index)
+    session = index.stats.delta(before)
+    candidate = session["candidate_seconds"]
+    filtering = session["filter_seconds"]
+    verify = session["verify_seconds"]
     print(
         f"# {len(queries.records)} queries, {len(rows)} matches, "
         f"{candidate + filtering + verify:.3f}s query time "
@@ -315,6 +387,113 @@ def _command_index(args: argparse.Namespace) -> int:
         + (f"; index grown to {len(index)} records" if args.insert else ""),
         file=sys.stderr,
     )
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.index import SimilarityIndex
+    from repro.service import SimilarityServer
+
+    threshold = 0.5 if args.threshold is None else args.threshold
+    candidates = "exact" if args.candidates is None else args.candidates
+
+    def factory() -> SimilarityIndex:
+        options = {}
+        if args.workers is not None:
+            options["workers"] = args.workers
+        if args.executor is not None:
+            options["executor"] = args.executor
+        if args.input is not None:
+            dataset = read_dataset(args.input)
+            return SimilarityIndex.build(
+                dataset.records,
+                threshold,
+                candidates=candidates,
+                backend=args.backend,
+                seed=args.seed,
+                **options,
+            )
+        return SimilarityIndex(
+            threshold,
+            candidates=candidates,
+            backend=args.backend,
+            seed=args.seed,
+            **options,
+        )
+
+    server = SimilarityServer(
+        index_factory=factory,
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_linger_ms=args.max_linger_ms,
+        snapshot_every=args.snapshot_every,
+        wal_sync=not args.no_wal_sync,
+    )
+
+    async def _serve() -> None:
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signal_number in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signal_number, stop_event.set)
+            except (NotImplementedError, RuntimeError):  # platforms without it
+                pass
+        await server.start()
+        # --workers/--executor are runtime settings, not data: apply them to
+        # the served index even when it came from a snapshot (mirroring the
+        # `index query` overrides).
+        if args.workers is not None:
+            server.index.workers = args.workers
+        if args.executor is not None:
+            server.index.executor = args.executor
+        # An existing snapshot wins over the command line (it IS the served
+        # index); warn when an *explicitly passed* flag disagrees with it.
+        requested = {
+            "threshold": args.threshold,
+            "candidates": args.candidates,
+            "backend": args.backend,
+        }
+        actual = {
+            "threshold": server.index.threshold,
+            "candidates": server.index.candidates,
+            "backend": server.index.backend,
+        }
+        for key, value in requested.items():
+            if value is not None and value != actual[key]:
+                print(
+                    f"# warning: --{key} {value} ignored — the {args.data_dir} "
+                    f"snapshot was built with {key}={actual[key]} and wins on restart",
+                    file=sys.stderr,
+                )
+        print(
+            f"# serving {len(server.index)} records "
+            f"(threshold {server.index.threshold}, {server.index.candidates} candidates, "
+            f"{server.index.backend} backend) on {server.host}:{server.port}"
+            + (f"; persistence in {args.data_dir}" if args.data_dir else "; in-memory only"),
+            file=sys.stderr,
+            flush=True,
+        )
+        if args.port_file:
+            Path(args.port_file).write_text(f"{server.host} {server.port}\n", encoding="utf-8")
+        try:
+            await stop_event.wait()
+        finally:
+            await server.stop()
+
+    from repro.index import IndexPersistenceError
+    from repro.service.wal import WalCorruptionError
+
+    try:
+        asyncio.run(_serve())
+    except (IndexPersistenceError, WalCorruptionError, RuntimeError) as error:
+        # Startup refusals (foreign/corrupt snapshot, corrupt WAL, locked
+        # data dir) exit with the message, not an asyncio traceback.
+        raise SystemExit(str(error))
     return 0
 
 
@@ -353,6 +532,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         index_bench,
         parallel_bench,
         rs_bench,
+        serve_bench,
         table1,
         table2,
         table4,
@@ -390,6 +570,8 @@ def _command_experiment(args: argparse.Namespace) -> int:
         # opt-in via `python -m repro.experiments.parallel_bench --out-json`
         # or scripts/run_experiments.py.
         print(format_table(parallel_bench.run(scale=args.scale, seed=args.seed, out_json=None)))
+    elif name == "serve-bench":
+        print(format_table(serve_bench.run(scale=args.scale, seed=args.seed, out_json=None)))
     return 0
 
 
@@ -401,6 +583,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_join(args)
     if args.command == "index":
         return _command_index(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "generate":
         return _command_generate(args)
     if args.command == "stats":

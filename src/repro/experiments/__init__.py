@@ -24,6 +24,7 @@ Backend micro-benchmark         :mod:`repro.experiments.backend_bench`
 R ⋈ S extension (Section IV)    :mod:`repro.experiments.rs_bench`
 Index serving extension         :mod:`repro.experiments.index_bench`
 Parallel executors (V-A.5)      :mod:`repro.experiments.parallel_bench`
+Online serving extension        :mod:`repro.experiments.serve_bench`
 ==============================  =======================================
 """
 
@@ -40,4 +41,5 @@ __all__ = [
     "rs_bench",
     "index_bench",
     "parallel_bench",
+    "serve_bench",
 ]

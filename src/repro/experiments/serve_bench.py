@@ -1,0 +1,204 @@
+"""Serving benchmark: throughput/latency of the online service vs coalescing.
+
+The serving layer's central claim is that micro-batching concurrent point
+queries into ``query_batch`` calls amortizes the vectorized kernels across
+users without changing any answer.  This benchmark measures both halves of
+that claim:
+
+* **performance** — a load generator drives the server with ``--clients``
+  concurrent blocking clients (each a thread issuing point queries
+  back-to-back) for several coalescing settings: ``max_batch=1`` (the
+  no-coalescing baseline: every request is its own ``query_batch`` call)
+  and ``max_batch=64`` at lingers of 0 ms (same-tick coalescing only),
+  2 ms and 10 ms.  Each row reports wall-clock throughput and the p50 /
+  p95 / p99 client-observed latency, plus the mean batch size the
+  coalescer actually formed.
+* **parity** — every single response is compared against an offline
+  :meth:`repro.index.SimilarityIndex.query_batch` over the same queries;
+  the benchmark refuses to report numbers for a diverging transcript.
+
+Results are written to ``BENCH_serve.json`` (see
+:func:`repro.experiments.common.write_bench_json`), which records the CPU
+count alongside the timings: with a single core the coalescing win is
+bounded by numpy's per-call overhead only, and the artifact says so.
+
+Run as a module (``python -m repro.experiments.serve_bench``), through the
+CLI (``repro-join experiment serve-bench``), or via
+``scripts/run_experiments.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.profiles import generate_profile_dataset
+from repro.experiments.common import format_table, make_parser, write_bench_json
+from repro.index import SimilarityIndex
+from repro.service import ServiceClient, SimilarityServer, serve_in_thread
+
+__all__ = ["run", "main", "DEFAULT_COALESCING_SETTINGS"]
+
+Match = Tuple[int, float]
+
+DEFAULT_COALESCING_SETTINGS: Tuple[Tuple[int, float], ...] = (
+    # (max_batch, max_linger_ms): the first row is the no-coalescing baseline.
+    (1, 0.0),
+    (64, 0.0),
+    (64, 2.0),
+    (64, 10.0),
+)
+"""Coalescing settings swept by the benchmark (baseline + three lingers)."""
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def _drive_one_client(
+    address: Tuple[str, int], queries: Sequence[Tuple[int, ...]]
+) -> Tuple[List[float], List[List[Match]]]:
+    """One load-generator thread: sequential point queries on one connection."""
+    host, port = address
+    latencies: List[float] = []
+    responses: List[List[Match]] = []
+    with ServiceClient.connect(host, port, retry_for=10.0) as client:
+        for query in queries:
+            started = time.perf_counter()
+            responses.append(client.query(query))
+            latencies.append(time.perf_counter() - started)
+    return latencies, responses
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 42,
+    threshold: float = 0.5,
+    num_clients: int = 8,
+    queries_per_client: int = 100,
+    settings: Sequence[Tuple[int, float]] = DEFAULT_COALESCING_SETTINGS,
+    out_json: Optional[str] = "BENCH_serve.json",
+) -> List[Dict[str, object]]:
+    """Sweep the coalescing settings over one served workload.
+
+    ``scale`` multiplies the indexed collection's size (``1.0`` serves a
+    ~10k-record UNIFORM005 surrogate).  Every response of every run is
+    asserted equal to the offline ``query_batch`` answer for the same query
+    before any timing is reported.
+    """
+    dataset = generate_profile_dataset("UNIFORM005", scale=4.0 * scale, seed=seed)
+    index = SimilarityIndex.build(
+        dataset.records, threshold, candidates="exact", backend="numpy", seed=seed
+    )
+
+    # The offline reference transcript the server must reproduce exactly.
+    rng_queries = [
+        dataset.records[(client * queries_per_client + position) % len(dataset.records)]
+        for client in range(num_clients)
+        for position in range(queries_per_client)
+    ]
+    expected = index.query_batch(rng_queries)
+
+    rows: List[Dict[str, object]] = []
+    for max_batch, linger_ms in settings:
+        server = SimilarityServer(
+            index=index, max_batch=max_batch, max_linger_ms=linger_ms
+        )
+        handle = serve_in_thread(server)
+        try:
+            shards = [
+                rng_queries[client * queries_per_client : (client + 1) * queries_per_client]
+                for client in range(num_clients)
+            ]
+            began = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=num_clients) as pool:
+                outcomes = list(
+                    pool.map(lambda shard: _drive_one_client(handle.address, shard), shards)
+                )
+            elapsed = time.perf_counter() - began
+            with ServiceClient.connect(*handle.address) as probe:
+                coalescer = probe.stats()["server"]["coalescer"]
+        finally:
+            handle.stop()
+
+        latencies: List[float] = []
+        responses: List[List[Match]] = []
+        for client_latencies, client_responses in outcomes:
+            latencies.extend(client_latencies)
+            responses.extend(client_responses)
+        if responses != expected:
+            raise AssertionError(
+                f"server transcript diverged from offline query_batch at "
+                f"max_batch={max_batch}, linger={linger_ms}ms"
+            )
+
+        latencies.sort()
+        total_queries = len(latencies)
+        batches = max(1, int(coalescer["batches"]))
+        rows.append(
+            {
+                "workload": dataset.name,
+                "records": len(index),
+                "clients": num_clients,
+                "queries": total_queries,
+                "max_batch": max_batch,
+                "linger_ms": linger_ms,
+                "throughput_qps": round(total_queries / elapsed, 1),
+                "p50_ms": round(1000.0 * _percentile(latencies, 0.50), 3),
+                "p95_ms": round(1000.0 * _percentile(latencies, 0.95), 3),
+                "p99_ms": round(1000.0 * _percentile(latencies, 0.99), 3),
+                "batches": batches,
+                "mean_batch": round(total_queries / batches, 2),
+                "parity": "ok",
+            }
+        )
+
+    if out_json:
+        write_bench_json(
+            "serve",
+            rows,
+            out_json,
+            scale=scale,
+            seed=seed,
+            meta={
+                "threshold": threshold,
+                "num_clients": num_clients,
+                "queries_per_client": queries_per_client,
+            },
+        )
+    return rows
+
+
+def main() -> None:
+    parser = make_parser(__doc__.splitlines()[0])
+    parser.add_argument(
+        "--clients", type=int, default=8, help="concurrent load-generator clients (default 8)"
+    )
+    parser.add_argument(
+        "--queries-per-client", type=int, default=100,
+        help="point queries each client issues (default 100)",
+    )
+    parser.add_argument(
+        "--out-json", type=str, default="BENCH_serve.json",
+        help="path of the machine-readable artifact (default BENCH_serve.json)",
+    )
+    args = parser.parse_args()
+    rows = run(
+        scale=args.scale,
+        seed=args.seed,
+        num_clients=args.clients,
+        queries_per_client=args.queries_per_client,
+        out_json=args.out_json,
+    )
+    print(format_table(rows))
+    print(f"\n(cpu_count={os.cpu_count()}; artifact written to {args.out_json})")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,6 @@ algorithms, useful when one collection is indexed once and probed many times
 
 from repro.index.chosen_path import ChosenPathIndex
 from repro.index.minhash_lsh import MinHashLSHIndex
-from repro.index.similarity_index import SimilarityIndex
+from repro.index.similarity_index import IndexPersistenceError, SimilarityIndex
 
-__all__ = ["ChosenPathIndex", "MinHashLSHIndex", "SimilarityIndex"]
+__all__ = ["ChosenPathIndex", "IndexPersistenceError", "MinHashLSHIndex", "SimilarityIndex"]

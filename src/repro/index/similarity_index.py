@@ -37,8 +37,11 @@ report.
 
 from __future__ import annotations
 
+import pickle
+import struct
 import time
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -59,12 +62,51 @@ from repro.hashing.sketch import (
 from repro.result import JoinStats, canonical_pair
 from repro.similarity.verify import verify_pair_sorted
 
-__all__ = ["SimilarityIndex"]
+__all__ = ["SimilarityIndex", "IndexPersistenceError", "normalized_tokens"]
 
 Pair = Tuple[int, int]
 Match = Tuple[int, float]
 
 _WORD_BITS = 64
+
+_SAVE_MAGIC = b"REPRO-SIMIDX\n"
+"""File magic of :meth:`SimilarityIndex.save`; a bare pickle never starts with it."""
+
+SAVE_FORMAT_VERSION = 1
+"""Current on-disk format version written by :meth:`SimilarityIndex.save`."""
+
+
+class IndexPersistenceError(ValueError):
+    """A saved index file could not be loaded (foreign, corrupt, or stale)."""
+
+
+TOKEN_INT64_MIN = -(2**63)
+TOKEN_INT64_MAX = 2**63 - 1
+"""Token bounds of the index's int64 storage (shared with the wire protocol)."""
+
+
+def normalized_tokens(record, action: str) -> Tuple[int, ...]:
+    """Sorted, deduplicated int tokens, range-checked to fit int64 storage.
+
+    The single normalization used by the index *and* the serving layer (so
+    a WAL-replayed record can never normalize differently than the live
+    insert did).  The range check must happen *before* any index structure
+    is touched: an out-of-range token surfacing as an OverflowError halfway
+    through an insert would leave the index half-applied (record list
+    grown, CSR arrays not), which the serving layer's durability contract
+    cannot tolerate.
+    """
+    normalized = tuple(sorted({int(token) for token in record}))
+    if not normalized:
+        raise ValueError(f"cannot {action} an empty record")
+    if normalized[0] < TOKEN_INT64_MIN or normalized[-1] > TOKEN_INT64_MAX:
+        offender = normalized[0] if normalized[0] < TOKEN_INT64_MIN else normalized[-1]
+        raise ValueError(
+            f"token {offender} does not fit the index's 64-bit token storage"
+        )
+    return normalized
+
+
 _CANDIDATE_MODES = ("exact", "chosenpath", "lsh")
 _BACKENDS = ("python", "numpy")
 
@@ -341,9 +383,7 @@ class SimilarityIndex:
         of the existing index is rebuilt.
         """
         started = time.perf_counter()
-        normalized = tuple(sorted(set(int(token) for token in record)))
-        if not normalized:
-            raise ValueError("cannot index an empty record")
+        normalized = normalized_tokens(record, "index")
         record_id = self._insert_normalized(normalized, None)
         self.stats.index_build_seconds += time.perf_counter() - started
         self.stats.num_records = len(self._records)
@@ -360,12 +400,9 @@ class SimilarityIndex:
         if not self.use_sketches:
             return [self.insert(record) for record in records]
         started = time.perf_counter()
-        normalized_list: List[Record] = []
-        for record in records:
-            normalized = tuple(sorted(set(int(token) for token in record)))
-            if not normalized:
-                raise ValueError("cannot index an empty record")
-            normalized_list.append(normalized)
+        normalized_list: List[Record] = [
+            normalized_tokens(record, "index") for record in records
+        ]
         ids: List[int] = []
         if normalized_list:
             assert self._minhasher is not None and self._sketcher is not None
@@ -649,10 +686,7 @@ class SimilarityIndex:
     # ------------------------------------------------------------------ query pipeline
     @staticmethod
     def _normalize_query(record: Sequence[int]) -> Record:
-        normalized = tuple(sorted(set(int(token) for token in record)))
-        if not normalized:
-            raise ValueError("cannot query with an empty record")
-        return normalized
+        return normalized_tokens(record, "query with")
 
     def _sketch_block(
         self, normalized_chunk: List[Record], stats: Optional[JoinStats] = None
@@ -858,6 +892,81 @@ class SimilarityIndex:
             if accepted:
                 matches.append((int(candidate_id), similarity))
         return matches
+
+    # ------------------------------------------------------------------ persistence
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the index to ``path`` in the versioned on-disk format.
+
+        The file starts with a magic header plus a format version, so
+        :meth:`load` can tell a saved index from an arbitrary pickle before
+        unpickling anything, and refuses files written by a *newer* format
+        with a clear error instead of failing somewhere inside pickle.
+
+        The write is atomic (staging file + rename, flushed to stable
+        storage first): a crash mid-save can never destroy an existing file
+        at ``path`` — which is exactly the situation of ``index query
+        --insert`` rewriting the only copy, and of the server's snapshots.
+        """
+        import os
+
+        path = Path(path)
+        staging = path.with_name(path.name + ".tmp")
+        with open(staging, "wb") as handle:
+            handle.write(_SAVE_MAGIC)
+            handle.write(struct.pack(">I", SAVE_FORMAT_VERSION))
+            pickle.dump(self, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(staging, path)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SimilarityIndex":
+        """Load an index written by :meth:`save`.
+
+        Bare pickles written before the versioned format existed (the old
+        CLI ``index build`` output) still load through a fallback path;
+        anything else — a pickle of some other object, a truncated header, a
+        format version from a newer release — raises
+        :class:`IndexPersistenceError` naming the problem.
+        """
+        path = Path(path)
+        with open(path, "rb") as handle:
+            header = handle.read(len(_SAVE_MAGIC))
+            if header == _SAVE_MAGIC:
+                version_bytes = handle.read(4)
+                if len(version_bytes) != 4:
+                    raise IndexPersistenceError(
+                        f"{path}: truncated index header (missing format version)"
+                    )
+                version = struct.unpack(">I", version_bytes)[0]
+                if version > SAVE_FORMAT_VERSION:
+                    raise IndexPersistenceError(
+                        f"{path}: index format version {version} is newer than the "
+                        f"supported version {SAVE_FORMAT_VERSION}; "
+                        "load it with a matching release of this library"
+                    )
+                try:
+                    index = pickle.load(handle)
+                except Exception as error:
+                    raise IndexPersistenceError(
+                        f"{path}: corrupt index payload ({error})"
+                    ) from error
+            else:
+                # Fallback: a bare pickle from before the versioned format.
+                handle.seek(0)
+                try:
+                    index = pickle.load(handle)
+                except Exception as error:
+                    raise IndexPersistenceError(
+                        f"{path}: not a saved SimilarityIndex (bad magic and "
+                        f"not a loadable legacy pickle: {error})"
+                    ) from error
+        if not isinstance(index, cls):
+            raise IndexPersistenceError(
+                f"{path}: contains {type(index).__name__}, not a SimilarityIndex"
+            )
+        return index
 
     # ------------------------------------------------------------------ introspection
     def __getstate__(self) -> dict:

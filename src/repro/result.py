@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
 
 __all__ = ["JoinStats", "JoinResult", "Timer", "canonical_pair"]
 
@@ -108,6 +108,34 @@ class JoinStats:
             "index_build_seconds": self.index_build_seconds,
         }
         flat.update(self.extra)
+        return flat
+
+    _CONFIGURATION_FIELDS = ("algorithm", "threshold")
+    """Fields of :meth:`as_dict` that describe the run, not its progress."""
+
+    def snapshot(self) -> Dict[str, float]:
+        """Freeze the current counters/timings to diff a later state against.
+
+        Long-lived stats objects (a loaded :class:`SimilarityIndex`, a
+        running server) accumulate forever; ``snapshot()`` + :meth:`delta`
+        report what one session contributed on top of that history.
+        """
+        return self.as_dict()
+
+    def delta(self, since: Mapping[str, float]) -> Dict[str, float]:
+        """Counters/timings accumulated since a :meth:`snapshot`.
+
+        Numeric fields are differenced against the snapshot (fields that
+        appeared after the snapshot diff against zero); the configuration
+        fields (algorithm, threshold) pass through at their current values.
+        """
+        flat: Dict[str, float] = {}
+        for key, value in self.as_dict().items():
+            if key in self._CONFIGURATION_FIELDS or not isinstance(value, (int, float)):
+                flat[key] = value
+                continue
+            base = since.get(key, 0)
+            flat[key] = value - (base if isinstance(base, (int, float)) else 0)
         return flat
 
 

@@ -1,0 +1,144 @@
+"""Blocking client for the similarity-search service.
+
+A thin, dependency-free wrapper over one TCP connection speaking the
+JSON-lines protocol of :mod:`repro.service.protocol`.  The client is
+synchronous on purpose: tests, the CI smoke script, the load generator's
+worker threads and the examples all want straight-line code, and the
+*server* is where concurrency lives (many blocking clients are exactly the
+workload its coalescer batches).
+
+Usage::
+
+    from repro.service import ServiceClient
+
+    with ServiceClient.connect("127.0.0.1", 7777) as client:
+        client.insert([1, 2, 3])
+        matches = client.query([1, 2, 4])      # [(record_id, similarity), ...]
+        print(client.stats()["records"])
+
+One client instance is one connection and is **not** thread-safe; give each
+thread its own client (connections are cheap).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.service.protocol import (
+    Match,
+    ProtocolError,
+    decode_matches,
+    decode_message,
+    encode_message,
+)
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """The server answered a request with an error response."""
+
+
+class ServiceClient:
+    """One blocking JSON-lines connection to a :class:`SimilarityServer`."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._socket = sock
+        self._reader = sock.makefile("rb")
+        self._next_id = 0
+
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retry_for: float = 0.0,
+    ) -> "ServiceClient":
+        """Open a connection; optionally retry while the server comes up.
+
+        ``retry_for`` keeps retrying refused connections for that many
+        seconds — the CI smoke leg starts the server in the background and
+        connects as soon as the port is bound.
+        """
+        deadline = time.monotonic() + retry_for
+        while True:
+            try:
+                sock = socket.create_connection((host, port), timeout=timeout)
+                return cls(sock)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    # ------------------------------------------------------------------ operations
+    def query(self, record: Sequence[int]) -> List[Match]:
+        """Point lookup: ``(record_id, similarity)`` matches, best first."""
+        result = self.call({"op": "query", "record": [int(token) for token in record]})
+        return decode_matches(result["matches"])
+
+    def query_batch(self, records: Sequence[Sequence[int]]) -> List[List[Match]]:
+        """One round trip for many lookups; one match list per query."""
+        result = self.call(
+            {
+                "op": "query_batch",
+                "records": [[int(token) for token in record] for record in records],
+            }
+        )
+        return [decode_matches(matches) for matches in result["matches"]]
+
+    def insert(self, record: Sequence[int]) -> int:
+        """Insert a record; returns its assigned id once it is durable."""
+        result = self.call({"op": "insert", "record": [int(token) for token in record]})
+        return int(result["record_id"])
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's statistics payload (index totals, session delta...)."""
+        return self.call({"op": "stats"})
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness probe; returns ``{"status": "ok", "records": n}``."""
+        return self.call({"op": "health"})
+
+    # ------------------------------------------------------------------ plumbing
+    def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request and block for its response's ``result``."""
+        request_id = self._next_id
+        self._next_id += 1
+        message = dict(message)
+        message.setdefault("id", request_id)
+        self._socket.sendall(encode_message(message))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode_message(line)
+        if response.get("id") != message["id"]:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match request id {message['id']!r}"
+            )
+        if not response.get("ok"):
+            raise ServiceError(response.get("error") or "unspecified server error")
+        result = response.get("result")
+        return result if isinstance(result, dict) else {}
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        peer: Optional[str]
+        try:
+            peer = "%s:%d" % self._socket.getpeername()[:2]
+        except OSError:
+            peer = "closed"
+        return f"ServiceClient({peer})"

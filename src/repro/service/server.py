@@ -1,0 +1,518 @@
+"""Asyncio similarity-search server over a resident :class:`SimilarityIndex`.
+
+The batch joins answer "all similar pairs of a static collection"; this
+server answers the online version — point lookups and live inserts against
+a collection that stays resident in one process — over a stdlib-only TCP
+JSON-lines protocol (:mod:`repro.service.protocol`).  Three design points
+carry the subsystem:
+
+* **Micro-batched queries.**  Every ``query`` request is submitted to a
+  :class:`repro.service.coalescer.QueryCoalescer`; concurrently pending
+  queries run as one ``query_batch`` call, so the vectorized kernels are
+  amortized across users exactly like they are across records offline.
+  Results are therefore *identical* to offline ``query_batch`` on the same
+  index — coalescing changes scheduling, never answers.
+* **Single engine thread.**  All index access (query batches, inserts,
+  snapshots) runs on one dedicated worker thread, so queries never observe
+  a half-applied insert and the asyncio loop never blocks on numpy.  Insert
+  requests are serialized through a writer queue ahead of that thread.
+* **WAL + snapshots.**  With a ``data_dir``, every insert is appended to a
+  write-ahead log before it is acknowledged, and every ``snapshot_every``
+  inserts (plus on clean shutdown) the index is snapshotted atomically and
+  the WAL truncated (:mod:`repro.service.wal`).  A killed server replays
+  WAL-on-snapshot at startup and answers exactly as before the kill.
+
+Run it via ``repro-join serve``, embed it with :func:`serve_in_thread`
+(tests, benchmarks, examples), or drive :class:`SimilarityServer` directly
+from your own event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.index.similarity_index import SimilarityIndex, normalized_tokens
+from repro.service.coalescer import QueryCoalescer
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_matches,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.service.wal import PersistentIndexStore
+
+__all__ = ["SimilarityServer", "ServerHandle", "serve_in_thread"]
+
+Record = Tuple[int, ...]
+IndexFactory = Callable[[], SimilarityIndex]
+
+
+def _normalize_record(tokens: Sequence[int], what: str) -> Record:
+    # The index's own normalization (sort/dedup/range check), surfaced as a
+    # protocol error: the wire and the storage can never disagree on what a
+    # record means, which the WAL-replay parity guarantee relies on.
+    try:
+        return normalized_tokens(tokens, what)
+    except ValueError as error:
+        raise ProtocolError(str(error)) from None
+
+
+class SimilarityServer:
+    """The serving subsystem: one resident index behind a TCP endpoint.
+
+    Parameters
+    ----------
+    index:
+        A ready :class:`SimilarityIndex` to serve.  Mutually exclusive with
+        ``index_factory``.
+    index_factory:
+        Zero-argument callable building the index when no snapshot exists
+        (with ``data_dir``) or at startup (without).
+    data_dir:
+        Directory for the snapshot + WAL pair; ``None`` disables
+        persistence (a pure in-memory server).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port, reported on
+        :attr:`port` after :meth:`start`.
+    max_batch / max_linger_ms:
+        The coalescing knobs (see :class:`QueryCoalescer`).
+    snapshot_every:
+        Take a snapshot after this many inserts since the last one
+        (``0`` disables periodic snapshots; a final one is still written on
+        clean shutdown).
+    wal_sync:
+        fsync WAL appends before acknowledging inserts (durability across
+        OS crashes; disable for benchmarks).
+    """
+
+    def __init__(
+        self,
+        index: Optional[SimilarityIndex] = None,
+        *,
+        index_factory: Optional[IndexFactory] = None,
+        data_dir: Optional[Union[str, Path]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 64,
+        max_linger_ms: float = 2.0,
+        snapshot_every: int = 512,
+        wal_sync: bool = True,
+    ) -> None:
+        if (index is None) == (index_factory is None):
+            raise ValueError("provide exactly one of index= or index_factory=")
+        if snapshot_every < 0:
+            raise ValueError("snapshot_every must be non-negative")
+        self._factory: IndexFactory = index_factory if index_factory is not None else (lambda: index)
+        self._data_dir = None if data_dir is None else Path(data_dir)
+        self.host = host
+        self.port = port
+        self.max_batch = max_batch
+        self.max_linger_ms = max_linger_ms
+        self.snapshot_every = snapshot_every
+        self.wal_sync = wal_sync
+
+        self._index: Optional[SimilarityIndex] = None
+        self._store: Optional[PersistentIndexStore] = None
+        self._engine: Optional[ThreadPoolExecutor] = None
+        self._coalescer: Optional[QueryCoalescer] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._write_queue: Optional[asyncio.Queue] = None
+        self._writer_task: Optional[asyncio.Task] = None
+        self._connection_tasks: set = set()
+        self._connection_writers: set = set()
+        self._stats_origin: Dict[str, float] = {}
+        self._wal_replayed = 0
+        self._inserts_since_snapshot = 0
+        self._wal_failed = False
+        self._started_at = 0.0
+        self.counters: Dict[str, float] = {
+            "connections": 0,
+            "requests": 0,
+            "inserts": 0,
+            "snapshots": 0,
+            "snapshot_failures": 0,
+            "protocol_errors": 0,
+        }
+
+    @property
+    def index(self) -> SimilarityIndex:
+        """The resident index (available after :meth:`start`)."""
+        assert self._index is not None, "server not started"
+        return self._index
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    # ------------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        """Recover/build the index and start accepting connections."""
+        loop = asyncio.get_running_loop()
+        try:
+            if self._data_dir is not None:
+                self._store = PersistentIndexStore(self._data_dir, sync=self.wal_sync)
+                self._index, self._wal_replayed = await loop.run_in_executor(
+                    None, self._store.load, self._factory
+                )
+            else:
+                self._index = await loop.run_in_executor(None, self._factory)
+            self._stats_origin = self._index.stats.snapshot()
+            self._engine = ThreadPoolExecutor(max_workers=1, thread_name_prefix="simidx-engine")
+            self._coalescer = QueryCoalescer(
+                self._run_query_batch, max_batch=self.max_batch, max_linger_ms=self.max_linger_ms
+            )
+            self._write_queue = asyncio.Queue()
+            self._writer_task = asyncio.ensure_future(self._writer_loop())
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+            )
+        except BaseException:
+            # Release everything a partial start acquired — above all the
+            # data directory's advisory lock, or a fixed-and-retried start
+            # on the same directory would be refused as "already in use".
+            await self._release_partial_start()
+            raise
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.time()
+
+    async def _release_partial_start(self) -> None:
+        if self._writer_task is not None:
+            self._write_queue.put_nowait(None)
+            try:
+                await self._writer_task
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+            self._writer_task = None
+        if self._engine is not None:
+            self._engine.shutdown(wait=False)
+            self._engine = None
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+        if self._index is not None:
+            self._index.close()
+            self._index = None
+
+    async def stop(self) -> None:
+        """Drain in-flight work, write a final snapshot, release everything."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connection_writers):
+            writer.close()
+        if self._connection_tasks:
+            await asyncio.gather(*tuple(self._connection_tasks), return_exceptions=True)
+        if self._coalescer is not None:
+            await self._coalescer.drain()
+        if self._writer_task is not None:
+            await self._write_queue.put(None)
+            await self._writer_task
+            self._writer_task = None
+        if self._store is not None:
+            # Final snapshot only when it adds something (inserts since the
+            # last one, or no snapshot yet) and never after a WAL failure:
+            # the live index then holds a record whose insert was NACKed,
+            # and snapshotting it would resurrect that phantom on restart.
+            wanted = self._index is not None and not self._wal_failed and (
+                self._inserts_since_snapshot > 0 or not self._store.snapshot_path.exists()
+            )
+            if wanted:
+                loop = asyncio.get_running_loop()
+                try:
+                    await loop.run_in_executor(self._engine, self._store.snapshot, self._index)
+                except Exception:
+                    # The WAL already covers every acknowledged insert; a
+                    # failed final snapshot must not block the cleanup.
+                    self.counters["snapshot_failures"] += 1
+                else:
+                    self.counters["snapshots"] += 1
+                    self._inserts_since_snapshot = 0
+            self._store.close()
+        if self._engine is not None:
+            self._engine.shutdown(wait=True)
+            self._engine = None
+        if self._index is not None:
+            self._index.close()
+
+    async def serve_until(self, stop_event: asyncio.Event) -> None:
+        """Convenience loop: :meth:`start`, wait for the event, :meth:`stop`."""
+        await self.start()
+        try:
+            await stop_event.wait()
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------ engine plumbing
+    def _run_on_engine(self, call: Callable, *args: Any) -> Awaitable[Any]:
+        assert self._engine is not None
+        return asyncio.get_running_loop().run_in_executor(self._engine, call, *args)
+
+    async def _run_query_batch(self, records: List[Record]) -> List[List[Tuple[int, float]]]:
+        """The coalescer's batch runner: one ``query_batch`` on the engine thread."""
+        assert self._index is not None
+        return await self._run_on_engine(self._index.query_batch, records)
+
+    async def _writer_loop(self) -> None:
+        """Apply inserts strictly in arrival order: index first, WAL second,
+        acknowledge last, snapshot outside the acknowledgement.
+
+        Apply-then-log means a failed apply leaves no WAL entry (a phantom
+        entry would replay a never-acknowledged record and shadow the next
+        insert's id), while a failed log leaves an unacknowledged record.
+        But a failed log also leaves its id occupied in the live index, so
+        any *later* logged insert would sit behind a permanent id gap the
+        recovery path refuses — the writer therefore stops accepting
+        inserts after the first WAL failure instead of handing out
+        durability acknowledgements it cannot keep (queries stay up).
+        Everything runs on the single engine thread, so appends never stall
+        the event loop on their fsync and WAL order equals insert order.
+        """
+        assert self._write_queue is not None
+        while True:
+            item = await self._write_queue.get()
+            if item is None:
+                return
+            normalized, future = item
+            try:
+                if self._wal_failed:
+                    raise RuntimeError(
+                        "inserts disabled: a write-ahead-log append failed earlier, "
+                        "so new inserts could not be made durable; restart the server"
+                    )
+                record_id = await self._run_on_engine(self._index.insert, normalized)
+                if self._store is not None:
+                    try:
+                        await self._run_on_engine(
+                            self._store.log_insert, record_id, normalized
+                        )
+                    except Exception:
+                        self._wal_failed = True
+                        raise
+                self.counters["inserts"] += 1
+                self._inserts_since_snapshot += 1
+            except Exception as error:
+                if not future.done():
+                    future.set_exception(error)
+                continue
+            if not future.done():
+                future.set_result(record_id)
+            # The periodic snapshot happens *after* the acknowledgement: the
+            # insert above is already durable in the WAL, so a snapshot
+            # failure must not be reported as a failed insert (a client
+            # retrying would double-insert a record that is being served).
+            if (
+                self._store is not None
+                and self.snapshot_every
+                and self._inserts_since_snapshot >= self.snapshot_every
+            ):
+                try:
+                    await self._run_on_engine(self._store.snapshot, self._index)
+                except Exception:
+                    self.counters["snapshot_failures"] += 1
+                else:
+                    self.counters["snapshots"] += 1
+                    self._inserts_since_snapshot = 0
+
+    # ------------------------------------------------------------------ connections
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.counters["connections"] += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        self._connection_writers.add(writer)
+        write_lock = asyncio.Lock()
+        request_tasks: set = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Oversized line: the stream is no longer in sync with the
+                    # protocol; drop the connection rather than guess.
+                    break
+                if not line:
+                    break
+                request_task = asyncio.ensure_future(
+                    self._handle_request(line, writer, write_lock)
+                )
+                request_tasks.add(request_task)
+                request_task.add_done_callback(request_tasks.discard)
+        finally:
+            if request_tasks:
+                await asyncio.gather(*tuple(request_tasks), return_exceptions=True)
+            self._connection_writers.discard(writer)
+            if task is not None:
+                self._connection_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(
+        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        request_id: Optional[Any] = None
+        try:
+            message = decode_message(line)
+            raw_id = message.get("id")
+            if isinstance(raw_id, (int, str)):
+                request_id = raw_id
+            request = parse_request(message)
+            result = await self._dispatch(request)
+            response = ok_response(request["id"], result)
+        except ProtocolError as error:
+            self.counters["protocol_errors"] += 1
+            response = error_response(request_id, str(error))
+        except ValueError as error:  # domain errors (bad record, bad state)
+            response = error_response(request_id, str(error))
+        except Exception as error:  # keep the connection alive on server bugs
+            response = error_response(request_id, f"internal error: {error!r}")
+        async with write_lock:
+            writer.write(encode_message(response))
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        assert self._index is not None and self._coalescer is not None
+        self.counters["requests"] += 1
+        operation = request["op"]
+        if operation == "query":
+            record = _normalize_record(request["record"], "query with")
+            matches = await self._coalescer.submit(record)
+            return {"matches": encode_matches(matches)}
+        if operation == "query_batch":
+            records = [
+                _normalize_record(tokens, "query with") for tokens in request["records"]
+            ]
+            if not records:
+                return {"matches": []}
+            results = await self._run_on_engine(self._index.query_batch, records)
+            return {"matches": [encode_matches(matches) for matches in results]}
+        if operation == "insert":
+            normalized = _normalize_record(request["record"], "insert")
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            await self._write_queue.put((normalized, future))
+            record_id = await future
+            return {"record_id": int(record_id)}
+        if operation == "stats":
+            return await self._stats_payload()
+        # health
+        return {"status": "ok", "records": len(self._index)}
+
+    async def _stats_payload(self) -> Dict[str, Any]:
+        """The ``stats`` endpoint: index totals, session delta, server counters."""
+        index = self._index
+        assert index is not None
+
+        def _collect() -> Dict[str, Any]:
+            # On the engine thread, so the counters are not mid-update.
+            return {
+                "records": len(index),
+                "threshold": index.threshold,
+                "candidates": index.candidates,
+                "backend": index.backend,
+                "index": index.stats.as_dict(),
+                "session": index.stats.delta(self._stats_origin),
+            }
+
+        payload = await self._run_on_engine(_collect)
+        payload["server"] = {
+            "uptime_seconds": time.time() - self._started_at,
+            "wal_replayed": self._wal_replayed,
+            "inserts_since_snapshot": self._inserts_since_snapshot,
+            "persistence": self._store is not None,
+            "max_batch": self.max_batch,
+            "max_linger_ms": self.max_linger_ms,
+            "coalescer": dict(self._coalescer.counters),
+            **dict(self.counters),
+        }
+        return payload
+
+
+class ServerHandle:
+    """A server running on a background thread (see :func:`serve_in_thread`)."""
+
+    def __init__(
+        self, server: SimilarityServer, thread: threading.Thread, stop: Callable[[], None]
+    ) -> None:
+        self.server = server
+        self._thread = thread
+        self._stop = stop
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.address
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Signal the server loop to shut down cleanly and join its thread."""
+        self._stop()
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - deadlock safety net
+            raise RuntimeError("server thread did not shut down in time")
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def serve_in_thread(server: SimilarityServer, start_timeout: float = 30.0) -> ServerHandle:
+    """Run a server on a dedicated thread with its own event loop.
+
+    The embedding entry point used by the tests, the ``serve-bench`` load
+    generator and the live-server mode of ``examples/streaming_dedup.py``:
+    the caller gets a :class:`ServerHandle` once the port is bound and talks
+    to it through :class:`repro.service.client.ServiceClient`.
+    """
+    ready = threading.Event()
+    failures: List[BaseException] = []
+    control: Dict[str, Any] = {}
+
+    async def _main() -> None:
+        stop_event = asyncio.Event()
+        control["loop"] = asyncio.get_running_loop()
+        control["stop_event"] = stop_event
+        try:
+            await server.start()
+        except BaseException as error:
+            failures.append(error)
+            ready.set()
+            return
+        ready.set()
+        try:
+            await stop_event.wait()
+        finally:
+            await server.stop()
+
+    thread = threading.Thread(target=lambda: asyncio.run(_main()), daemon=True)
+    thread.start()
+    if not ready.wait(start_timeout):
+        raise RuntimeError("server did not start in time")
+    if failures:
+        thread.join()
+        raise failures[0]
+
+    def _signal_stop() -> None:
+        loop: asyncio.AbstractEventLoop = control["loop"]
+        try:
+            loop.call_soon_threadsafe(control["stop_event"].set)
+        except RuntimeError:  # loop already gone
+            pass
+
+    return ServerHandle(server, thread, _signal_stop)

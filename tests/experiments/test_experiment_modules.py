@@ -183,6 +183,37 @@ class TestParallelBench:
         assert len(payload["rows"]) == 4
 
 
+class TestServeBench:
+    def test_smoke_rows_and_artifact(self, tmp_path) -> None:
+        from repro.experiments import serve_bench
+
+        out_json = tmp_path / "BENCH_serve.json"
+        rows = serve_bench.run(
+            scale=0.03,
+            seed=20,
+            num_clients=2,
+            queries_per_client=10,
+            settings=((1, 0.0), (16, 0.0), (16, 2.0)),
+            out_json=str(out_json),
+        )
+        assert len(rows) == 3
+        for row in rows:
+            # run() itself asserts the full transcript parity before
+            # reporting a row; the rows must carry the latency percentiles.
+            assert row["parity"] == "ok"
+            assert row["throughput_qps"] > 0.0
+            assert 0.0 <= row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+            assert row["mean_batch"] >= 1.0
+        baseline = rows[0]
+        assert baseline["max_batch"] == 1 and baseline["mean_batch"] == 1.0
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert payload["experiment"] == "serve"
+        assert payload["environment"]["cpu_count"] is not None
+        assert len(payload["rows"]) == 3
+
+
 class TestAblations:
     def test_stopping_strategies_all_present(self) -> None:
         rows = ablation_stopping.run(names=["UNIFORM005"], scale=0.08, seed=14, repetitions=2)

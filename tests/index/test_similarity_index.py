@@ -66,6 +66,20 @@ class TestConstruction:
 
 
 class TestBasicSemantics:
+    def test_out_of_range_token_rejected_before_any_mutation(self) -> None:
+        # int64 is the token storage; an oversized token must fail the
+        # insert atomically (no record id consumed, no half-grown CSR).
+        index = SimilarityIndex(0.5, backend="numpy")
+        index.insert((1, 2, 3))
+        for bad in ((2**70,), (1, 2, 2**63), (-(2**63) - 1, 5)):
+            with pytest.raises(ValueError, match="64-bit"):
+                index.insert(bad)
+            with pytest.raises(ValueError, match="64-bit"):
+                index.query(bad)
+        assert len(index) == 1
+        assert index.insert((4, 5, 6)) == 1  # ids still contiguous
+        assert index.query((1, 2, 3))[0] == (0, 1.0)
+
     def test_insert_returns_sequential_ids(self) -> None:
         index = SimilarityIndex(0.5)
         assert index.insert([1, 2, 3]) == 0
@@ -138,6 +152,40 @@ class TestExactEquivalence:
             incremental.insert(record)
         assert incremental.self_join_pairs() == bulk.self_join_pairs()
         assert incremental.query_batch(random_records[:30]) == bulk.query_batch(random_records[:30])
+
+    @pytest.mark.parametrize("executor", ["threads", "processes"])
+    def test_interleaved_inserts_match_fresh_build_under_executors(
+        self, random_records, executor
+    ) -> None:
+        # The serving satellite's contract: querying, then inserting N
+        # records, then querying again must answer exactly like a fresh
+        # build over the grown collection — including on the parallel
+        # executors, whose cached process pool holds a pickled snapshot of
+        # the index and must be invalidated by every insert.
+        base, extra = random_records[:200], random_records[200:]
+        queries = random_records[:60]
+        grown = SimilarityIndex.build(
+            base, 0.5, backend="numpy", seed=9, workers=2, executor=executor, batch_size=32
+        )
+        try:
+            grown.query_batch(queries)  # populate (and for processes, cache) the pool
+            for record in extra:
+                grown.insert(record)
+            fresh = SimilarityIndex.build(
+                list(base) + list(extra),
+                0.5,
+                backend="numpy",
+                seed=9,
+                workers=2,
+                executor=executor,
+                batch_size=32,
+            )
+            try:
+                assert grown.query_batch(queries) == fresh.query_batch(queries)
+            finally:
+                fresh.close()
+        finally:
+            grown.close()
 
     def test_queries_against_grown_index(self, random_records) -> None:
         split = 150

@@ -1,0 +1,92 @@
+"""Tests for the JSON-lines wire protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.protocol import (
+    OPERATIONS,
+    ProtocolError,
+    decode_matches,
+    decode_message,
+    encode_matches,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+
+class TestMessageFraming:
+    def test_roundtrip(self) -> None:
+        message = {"id": 3, "op": "query", "record": [1, 2, 3]}
+        assert decode_message(encode_message(message)) == message
+
+    def test_one_line_per_message(self) -> None:
+        assert encode_message({"op": "health"}).endswith(b"\n")
+        assert encode_message({"op": "health"}).count(b"\n") == 1
+
+    def test_malformed_json_rejected(self) -> None:
+        with pytest.raises(ProtocolError):
+            decode_message(b"{not json}\n")
+
+    def test_non_object_rejected(self) -> None:
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1, 2, 3]\n")
+
+    def test_non_utf8_rejected(self) -> None:
+        with pytest.raises(ProtocolError):
+            decode_message(b"\xff\xfe{}\n")
+
+
+class TestParseRequest:
+    def test_query_shape(self) -> None:
+        request = parse_request({"id": 9, "op": "query", "record": [3, 1, 2]})
+        assert request == {"op": "query", "id": 9, "record": [3, 1, 2]}
+
+    def test_query_batch_shape(self) -> None:
+        request = parse_request({"op": "query_batch", "records": [[1], [2, 3]]})
+        assert request["records"] == [[1], [2, 3]]
+        assert request["id"] is None
+
+    @pytest.mark.parametrize("operation", OPERATIONS)
+    def test_every_operation_parses(self, operation) -> None:
+        message = {"op": operation}
+        if operation in ("query", "insert"):
+            message["record"] = [1]
+        elif operation == "query_batch":
+            message["records"] = [[1]]
+        assert parse_request(message)["op"] == operation
+
+    def test_unknown_operation_rejected(self) -> None:
+        with pytest.raises(ProtocolError, match="unknown operation"):
+            parse_request({"op": "qeury", "record": [1]})
+
+    def test_missing_record_rejected(self) -> None:
+        with pytest.raises(ProtocolError, match="requires a 'record'"):
+            parse_request({"op": "insert"})
+
+    def test_non_integer_tokens_rejected(self) -> None:
+        with pytest.raises(ProtocolError, match="only integers"):
+            parse_request({"op": "query", "record": [1, "two"]})
+        with pytest.raises(ProtocolError, match="only integers"):
+            parse_request({"op": "query", "record": [True]})
+
+    def test_records_must_be_a_list(self) -> None:
+        with pytest.raises(ProtocolError, match="'records' list"):
+            parse_request({"op": "query_batch", "records": 7})
+
+    def test_request_id_type_checked(self) -> None:
+        with pytest.raises(ProtocolError, match="request id"):
+            parse_request({"op": "health", "id": 1.5})
+
+
+class TestMatchEncoding:
+    def test_roundtrip_preserves_order_and_values(self) -> None:
+        matches = [(12, 0.8), (3, 0.5), (7, 0.5)]
+        assert decode_matches(encode_matches(matches)) == matches
+
+    def test_responses_echo_ids(self) -> None:
+        assert ok_response(4, {"matches": []}) == {"id": 4, "ok": True, "result": {"matches": []}}
+        failed = error_response("abc", "boom")
+        assert failed["id"] == "abc" and failed["ok"] is False and failed["error"] == "boom"

@@ -1,0 +1,316 @@
+"""End-to-end tests for the asyncio similarity-search server.
+
+Every test runs a real server on an ephemeral port (via
+:func:`repro.service.serve_in_thread`) and talks to it through the blocking
+client — the same path the CI smoke leg and the examples use.  The central
+assertion throughout: server answers are bit-identical to offline
+:meth:`SimilarityIndex.query_batch` on the same data.
+"""
+
+from __future__ import annotations
+
+import shutil
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.index import SimilarityIndex
+from repro.service import ServiceClient, ServiceError, SimilarityServer, serve_in_thread
+
+BASE_RECORDS = [
+    (1, 2, 3, 4),
+    (2, 3, 4, 5),
+    (10, 11, 12, 13),
+    (10, 11, 12, 14),
+    (1, 2, 3, 4, 5),
+    (20, 21, 22, 23),
+]
+
+
+def make_index(records=BASE_RECORDS, **options) -> SimilarityIndex:
+    options.setdefault("backend", "numpy")
+    options.setdefault("seed", 17)
+    return SimilarityIndex.build(list(records), 0.5, **options)
+
+
+@pytest.fixture
+def running_server():
+    server = SimilarityServer(index_factory=make_index, max_linger_ms=1.0)
+    handle = serve_in_thread(server)
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+class TestQueryParity:
+    def test_point_queries_match_offline_query_batch(self, running_server) -> None:
+        offline = make_index()
+        expected = offline.query_batch(BASE_RECORDS)
+        with ServiceClient.connect(*running_server.address) as client:
+            served = [client.query(record) for record in BASE_RECORDS]
+        assert served == expected
+
+    def test_query_batch_endpoint_matches_offline(self, running_server) -> None:
+        offline = make_index()
+        with ServiceClient.connect(*running_server.address) as client:
+            assert client.query_batch(BASE_RECORDS) == offline.query_batch(BASE_RECORDS)
+            assert client.query_batch([]) == []
+
+    def test_concurrent_queries_coalesce_without_changing_answers(self, running_server) -> None:
+        offline = make_index()
+        queries = [BASE_RECORDS[position % len(BASE_RECORDS)] for position in range(48)]
+        expected = offline.query_batch(queries)
+
+        def one_client(shard):
+            with ServiceClient.connect(*running_server.address) as client:
+                return [client.query(record) for record in shard]
+
+        shards = [queries[start::4] for start in range(4)]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            outcomes = list(pool.map(one_client, shards))
+        served = [matches for outcome in outcomes for matches in outcome]
+        expected_sharded = [match for start in range(4) for match in expected[start::4]]
+        assert served == expected_sharded
+
+        with ServiceClient.connect(*running_server.address) as client:
+            coalescer = client.stats()["server"]["coalescer"]
+        assert coalescer["queries"] >= 48
+        # Coalescing must actually have happened at least once under
+        # 4-way concurrency (48 queries in ≥ 1 shared batch).
+        assert coalescer["batches"] <= coalescer["queries"]
+
+
+class TestInserts:
+    def test_insert_assigns_sequential_ids_and_serves_them(self, running_server) -> None:
+        with ServiceClient.connect(*running_server.address) as client:
+            first = client.insert([100, 101, 102])
+            second = client.insert([100, 101, 103])
+            assert (first, second) == (len(BASE_RECORDS), len(BASE_RECORDS) + 1)
+            matches = client.query([100, 101, 102])
+            assert [record_id for record_id, _ in matches[:1]] == [first]
+            assert client.health()["records"] == len(BASE_RECORDS) + 2
+
+    def test_interleaved_inserts_match_fresh_offline_build(self, running_server) -> None:
+        extra = [(40, 41, 42), (40, 41, 43), (2, 3, 4)]
+        queries = list(BASE_RECORDS) + extra
+        with ServiceClient.connect(*running_server.address) as client:
+            for record in extra:
+                client.insert(record)
+            served = [client.query(record) for record in queries]
+        fresh = make_index(list(BASE_RECORDS) + extra)
+        assert served == fresh.query_batch(queries)
+
+    def test_insert_visible_after_pool_cached_queries_processes_executor(self) -> None:
+        # The server path of the pool-invalidation satellite: a processes-
+        # executor index caches its worker pool per record count; an insert
+        # through the server must invalidate it so later queries see the new
+        # record (stale workers would answer from their pickled copy).
+        records = [tuple(range(start, start + 6)) for start in range(0, 120, 3)]
+        server = SimilarityServer(
+            index_factory=lambda: make_index(
+                records, workers=2, executor="processes", batch_size=8
+            ),
+            max_linger_ms=0.0,
+        )
+        handle = serve_in_thread(server)
+        try:
+            with ServiceClient.connect(*handle.address) as client:
+                client.query_batch(records[:20])  # builds (and caches) the worker pool
+                record_id = client.insert([0, 1, 2, 3, 4, 500])
+                after = client.query_batch([[0, 1, 2, 3, 4, 500]])
+                assert [m for m, _ in after[0][:1]] == [record_id]
+                # Every post-insert answer equals a fresh offline build over
+                # the grown collection — a stale cached pool could not.
+                fresh = make_index(
+                    records + [(0, 1, 2, 3, 4, 500)], workers=2, executor="processes", batch_size=8
+                )
+                assert client.query_batch(records[:20]) == fresh.query_batch(records[:20])
+                fresh.close()
+        finally:
+            handle.stop()
+
+
+class TestErrorHandling:
+    def test_unknown_operation_answered_not_dropped(self, running_server) -> None:
+        with ServiceClient.connect(*running_server.address) as client:
+            with pytest.raises(ServiceError, match="unknown operation"):
+                client.call({"op": "qeury", "record": [1]})
+            assert client.health()["status"] == "ok"  # connection still alive
+
+    def test_empty_records_rejected(self, running_server) -> None:
+        with ServiceClient.connect(*running_server.address) as client:
+            with pytest.raises(ServiceError, match="empty record"):
+                client.insert([])
+            with pytest.raises(ServiceError, match="empty record"):
+                client.query([])
+            assert client.health()["records"] == len(BASE_RECORDS)
+
+    def test_out_of_range_token_rejected_without_corrupting_the_index(self, running_server) -> None:
+        # A token beyond int64 must be refused at the wire: a half-applied
+        # insert would occupy a record id the WAL never sees, and a bad
+        # query must not poison the coalesced batch it rides in.
+        with ServiceClient.connect(*running_server.address) as client:
+            with pytest.raises(ServiceError, match="64-bit"):
+                client.insert([2**70])
+            with pytest.raises(ServiceError, match="64-bit"):
+                client.query([2**70])
+            assert client.health()["records"] == len(BASE_RECORDS)  # nothing half-applied
+            record_id = client.insert([100, 101])  # inserts still work and line up
+            assert record_id == len(BASE_RECORDS)
+
+    def test_malformed_line_answered_with_error(self, running_server) -> None:
+        with ServiceClient.connect(*running_server.address) as client:
+            client._socket.sendall(b"{not json}\n")
+            import json
+
+            response = json.loads(client._reader.readline())
+            assert response["ok"] is False
+            assert "malformed" in response["error"]
+            assert client.health()["status"] == "ok"
+
+
+class TestWalFailureFailStop:
+    def test_inserts_disabled_after_wal_append_failure(self, tmp_path) -> None:
+        # After a WAL append fails the server must stop acknowledging
+        # inserts (their durability could not be kept: the failed insert's
+        # id is occupied in memory, so later logged inserts would hide
+        # behind a permanent id gap) — while queries stay up.
+        server = SimilarityServer(
+            index_factory=make_index, data_dir=tmp_path / "state",
+            wal_sync=False, max_linger_ms=0.0,
+        )
+        handle = serve_in_thread(server)
+        try:
+            server._store._wal.close()  # simulate the WAL device failing
+            with ServiceClient.connect(*handle.address) as client:
+                with pytest.raises(ServiceError):
+                    client.insert([100, 101])
+                with pytest.raises(ServiceError, match="inserts disabled"):
+                    client.insert([100, 102])
+                # Read availability is unaffected.
+                assert client.query([1, 2, 3, 4])
+                assert client.health()["status"] == "ok"
+        finally:
+            handle.stop()
+
+        # The NACKed record lived only in the failed server's memory; the
+        # clean shutdown must NOT have snapshotted it into persistence.
+        restarted = SimilarityServer(
+            index_factory=make_index, data_dir=tmp_path / "state",
+            wal_sync=False, max_linger_ms=0.0,
+        )
+        handle = serve_in_thread(restarted)
+        try:
+            with ServiceClient.connect(*handle.address) as client:
+                assert client.health()["records"] == len(BASE_RECORDS)
+        finally:
+            handle.stop()
+
+    def test_failed_start_releases_the_data_dir_lock(self, tmp_path) -> None:
+        data_dir = tmp_path / "state"
+        data_dir.mkdir()
+        (data_dir / "snapshot.idx").write_bytes(b"definitely not an index")
+        broken = SimilarityServer(index_factory=make_index, data_dir=data_dir)
+        with pytest.raises(Exception, match="not a saved SimilarityIndex"):
+            serve_in_thread(broken)
+        # After removing the corrupt snapshot, the directory must be usable
+        # again in this same process (the failed start released its lock).
+        (data_dir / "snapshot.idx").unlink()
+        handle = serve_in_thread(
+            SimilarityServer(index_factory=make_index, data_dir=data_dir, wal_sync=False)
+        )
+        try:
+            with ServiceClient.connect(*handle.address) as client:
+                assert client.health()["records"] == len(BASE_RECORDS)
+        finally:
+            handle.stop()
+
+
+class TestStatsEndpoint:
+    def test_session_delta_counts_this_servers_queries(self, running_server) -> None:
+        with ServiceClient.connect(*running_server.address) as client:
+            for record in BASE_RECORDS[:4]:
+                client.query(record)
+            payload = client.stats()
+        assert payload["records"] == len(BASE_RECORDS)
+        assert payload["session"]["queries"] == 4
+        # The index totals include the session (same stats object underneath).
+        assert payload["index"]["verified"] >= payload["session"]["verified"]
+        server_counters = payload["server"]
+        assert server_counters["persistence"] is False
+        assert server_counters["coalescer"]["queries"] == 4
+        assert server_counters["requests"] >= 5
+
+
+class TestPersistenceLifecycle:
+    def test_clean_restart_serves_identical_answers(self, tmp_path) -> None:
+        data_dir = tmp_path / "state"
+        probes = list(BASE_RECORDS) + [(100, 101, 102), (1, 2, 3)]
+        server = SimilarityServer(
+            index_factory=make_index, data_dir=data_dir, wal_sync=False, max_linger_ms=0.0
+        )
+        handle = serve_in_thread(server)
+        with ServiceClient.connect(*handle.address) as client:
+            client.insert([100, 101, 102])
+            expected = client.query_batch(probes)
+        handle.stop()  # clean: final snapshot
+
+        restarted = SimilarityServer(
+            index_factory=make_index, data_dir=data_dir, wal_sync=False, max_linger_ms=0.0
+        )
+        handle = serve_in_thread(restarted)
+        try:
+            with ServiceClient.connect(*handle.address) as client:
+                assert client.query_batch(probes) == expected
+                assert client.stats()["server"]["wal_replayed"] == 0  # snapshot covered it
+        finally:
+            handle.stop()
+
+    def test_kill_restart_replays_wal_to_identical_answers(self, tmp_path) -> None:
+        # Simulate a kill -9: copy the snapshot+WAL state *before* the clean
+        # shutdown writes its final snapshot, and restart from the copy.
+        data_dir = tmp_path / "state"
+        killed_dir = tmp_path / "killed"
+        probes = list(BASE_RECORDS) + [(100, 101, 102), (60, 61, 62, 63)]
+        server = SimilarityServer(
+            index_factory=make_index, data_dir=data_dir, wal_sync=False, max_linger_ms=0.0
+        )
+        handle = serve_in_thread(server)
+        with ServiceClient.connect(*handle.address) as client:
+            client.insert([100, 101, 102])
+            client.insert([60, 61, 62, 63])
+            expected = client.query_batch(probes)
+            shutil.copytree(data_dir, killed_dir)  # the state a kill leaves behind
+        handle.stop()
+
+        restarted = SimilarityServer(
+            index_factory=make_index, data_dir=killed_dir, wal_sync=False, max_linger_ms=0.0
+        )
+        handle = serve_in_thread(restarted)
+        try:
+            with ServiceClient.connect(*handle.address) as client:
+                assert client.query_batch(probes) == expected
+                assert client.stats()["server"]["wal_replayed"] == 2
+        finally:
+            handle.stop()
+
+    def test_snapshot_every_truncates_wal_mid_flight(self, tmp_path) -> None:
+        data_dir = tmp_path / "state"
+        server = SimilarityServer(
+            index_factory=make_index,
+            data_dir=data_dir,
+            wal_sync=False,
+            snapshot_every=3,
+            max_linger_ms=0.0,
+        )
+        handle = serve_in_thread(server)
+        try:
+            with ServiceClient.connect(*handle.address) as client:
+                for offset in range(7):
+                    client.insert([1000 + offset, 2000 + offset])
+                payload = client.stats()
+            assert payload["server"]["snapshots"] >= 2  # 7 inserts / snapshot_every=3
+            assert payload["server"]["inserts_since_snapshot"] == 1
+        finally:
+            handle.stop()

@@ -1,0 +1,223 @@
+"""Tests for the WAL + snapshot persistence layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index import SimilarityIndex
+from repro.service.wal import PersistentIndexStore, WalCorruptionError, WriteAheadLog
+
+BASE_RECORDS = [(1, 2, 3, 4), (2, 3, 4, 5), (10, 11, 12, 13)]
+
+
+def make_index() -> SimilarityIndex:
+    return SimilarityIndex.build(BASE_RECORDS, 0.5, backend="numpy", seed=5)
+
+
+class TestWriteAheadLog:
+    def test_append_replay_roundtrip(self, tmp_path) -> None:
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path, sync=False) as wal:
+            wal.append(0, (3, 1, 2))
+            wal.append(1, (9,))
+        assert WriteAheadLog.replay(path) == [(0, (3, 1, 2)), (1, (9,))]
+
+    def test_replay_missing_file_is_empty(self, tmp_path) -> None:
+        assert WriteAheadLog.replay(tmp_path / "absent.jsonl") == []
+
+    def test_truncate_discards_entries(self, tmp_path) -> None:
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path, sync=False) as wal:
+            wal.append(0, (1, 2))
+            wal.truncate()
+            wal.append(1, (3, 4))
+        assert WriteAheadLog.replay(path) == [(1, (3, 4))]
+
+    def test_torn_final_line_dropped(self, tmp_path) -> None:
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path, sync=False) as wal:
+            wal.append(0, (1, 2))
+        with open(path, "ab") as handle:
+            handle.write(b'{"id": 1, "tok')  # the crash hit mid-append
+        assert WriteAheadLog.replay(path) == [(0, (1, 2))]
+
+    def test_store_recovers_through_repeated_torn_tail_crashes(self, tmp_path) -> None:
+        # End-to-end regression for the glue bug: tear the WAL, recover,
+        # insert (acknowledged), tear down again — both inserts must survive.
+        store = PersistentIndexStore(tmp_path / "state", sync=False)
+        index, _ = store.load(make_index)
+        store.log_insert(index.insert((7, 8, 9)), (7, 8, 9))
+        store.close()
+        with open(store.wal_path, "ab") as handle:
+            handle.write(b'{"id": 4, "tok')  # crash tears a second append
+
+        recovered_store = PersistentIndexStore(tmp_path / "state", sync=False)
+        recovered, replayed = recovered_store.load(make_index)
+        assert replayed == 1
+        recovered_store.log_insert(recovered.insert((20, 21)), (20, 21))
+        recovered_store.close()  # second kill, still no snapshot
+
+        final_store = PersistentIndexStore(tmp_path / "state", sync=False)
+        final, replayed = final_store.load(make_index)
+        assert replayed == 2
+        assert len(final) == len(BASE_RECORDS) + 2
+        assert final.query((20, 21))[0][1] == 1.0
+        final_store.close()
+
+    def test_appends_after_a_torn_tail_do_not_glue_onto_it(self, tmp_path) -> None:
+        # Crash mid-append, restart, new acknowledged insert, crash again:
+        # the new entry must survive the second replay instead of being
+        # corrupted into the torn bytes (and silently dropped as "torn").
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path, sync=False) as wal:
+            wal.append(0, (1, 2))
+        with open(path, "ab") as handle:
+            handle.write(b'{"id": 1, "tok')  # first crash tears this append
+        entries, valid_end = WriteAheadLog.scan(path)
+        assert entries == [(0, (1, 2))]
+        with WriteAheadLog(path, sync=False, truncate_at=valid_end) as wal:
+            wal.append(1, (3, 4))  # acknowledged after the restart
+        assert WriteAheadLog.replay(path) == [(0, (1, 2)), (1, (3, 4))]
+
+    def test_unterminated_tail_is_torn_even_if_parseable(self, tmp_path) -> None:
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path, sync=False) as wal:
+            wal.append(0, (1, 2))
+        with open(path, "ab") as handle:
+            handle.write(b'{"id": 1, "tokens": [3]}')  # no newline: torn
+        entries, valid_end = WriteAheadLog.scan(path)
+        assert entries == [(0, (1, 2))]
+        assert valid_end == len(b'{"id":0,"tokens":[1,2]}\n')
+
+    def test_corruption_before_the_tail_is_refused(self, tmp_path) -> None:
+        path = tmp_path / "wal.jsonl"
+        with open(path, "wb") as handle:
+            handle.write(b"garbage\n")
+            handle.write(b'{"id": 0, "tokens": [1]}\n')
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog.replay(path)
+
+    def test_terminated_undecodable_final_line_is_corruption_not_torn(self, tmp_path) -> None:
+        # Appends write `line + \n` in one call, so a crash can only leave
+        # an *unterminated* tail; a newline-terminated garbage line means an
+        # acknowledged entry was corrupted externally — refuse, don't drop.
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path, sync=False) as wal:
+            wal.append(0, (1, 2))
+        with open(path, "ab") as handle:
+            handle.write(b"garbage\n")
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog.replay(path)
+
+
+class TestPersistentIndexStore:
+    def test_fresh_store_builds_from_factory(self, tmp_path) -> None:
+        store = PersistentIndexStore(tmp_path / "state", sync=False)
+        index, replayed = store.load(make_index)
+        assert replayed == 0
+        assert len(index) == len(BASE_RECORDS)
+        store.close()
+
+    def test_kill_without_snapshot_replays_wal(self, tmp_path) -> None:
+        store = PersistentIndexStore(tmp_path / "state", sync=False)
+        index, _ = store.load(make_index)
+        store.log_insert(index.insert((7, 8, 9)), (7, 8, 9))
+        store.log_insert(index.insert((1, 2, 3)), (1, 2, 3))
+        expected = index.query_batch([(7, 8, 9), (1, 2, 3, 4)])
+        store.close()  # process killed: no snapshot was ever written
+
+        recovered_store = PersistentIndexStore(tmp_path / "state", sync=False)
+        recovered, replayed = recovered_store.load(make_index)
+        assert replayed == 2
+        assert len(recovered) == len(BASE_RECORDS) + 2
+        assert recovered.query_batch([(7, 8, 9), (1, 2, 3, 4)]) == expected
+        recovered_store.close()
+
+    def test_snapshot_truncates_wal(self, tmp_path) -> None:
+        store = PersistentIndexStore(tmp_path / "state", sync=False)
+        index, _ = store.load(make_index)
+        store.log_insert(index.insert((7, 8, 9)), (7, 8, 9))
+        store.snapshot(index)
+        assert list(store.wal_entries()) == []
+        store.close()
+
+        recovered_store = PersistentIndexStore(tmp_path / "state", sync=False)
+        recovered, replayed = recovered_store.load(make_index)
+        assert replayed == 0  # everything came from the snapshot
+        assert len(recovered) == len(BASE_RECORDS) + 1
+        recovered_store.close()
+
+    def test_replay_is_idempotent_after_crash_between_rename_and_truncate(self, tmp_path) -> None:
+        # Simulate the one dangerous window: the snapshot rename landed but
+        # the WAL truncate did not.  The stale entries must replay as no-ops.
+        store = PersistentIndexStore(tmp_path / "state", sync=False)
+        index, _ = store.load(make_index)
+        record_id = index.insert((7, 8, 9))
+        store.log_insert(record_id, (7, 8, 9))
+        index.save(store.snapshot_path)  # snapshot rename "happened"
+        store.close()  # ... and the crash hit before truncate
+
+        recovered_store = PersistentIndexStore(tmp_path / "state", sync=False)
+        recovered, replayed = recovered_store.load(make_index)
+        assert replayed == 0  # the stale WAL entry was skipped, not re-inserted
+        assert len(recovered) == len(BASE_RECORDS) + 1
+        recovered_store.close()
+
+    def test_wal_gap_is_refused(self, tmp_path) -> None:
+        store = PersistentIndexStore(tmp_path / "state", sync=False)
+        index, _ = store.load(make_index)
+        store.log_insert(len(index) + 5, (7, 8, 9))  # id far beyond the index
+        store.close()
+        broken_store = PersistentIndexStore(tmp_path / "state", sync=False)
+        with pytest.raises(WalCorruptionError, match="gap"):
+            broken_store.load(make_index)
+        broken_store.close()
+
+    def test_wal_below_factory_base_without_snapshot_is_refused(self, tmp_path) -> None:
+        # No snapshot exists, so nothing can legitimately cover a WAL entry:
+        # if the factory's base collection grew under the log, skipping the
+        # entry would silently drop an acknowledged insert.
+        store = PersistentIndexStore(tmp_path / "state", sync=False)
+        index, _ = store.load(make_index)
+        store.log_insert(index.insert((7, 8, 9)), (7, 8, 9))
+        store.close()
+
+        def bigger_base() -> SimilarityIndex:
+            return SimilarityIndex.build(
+                BASE_RECORDS + [(50, 51, 52)], 0.5, backend="numpy", seed=5
+            )
+
+        grown_store = PersistentIndexStore(tmp_path / "state", sync=False)
+        with pytest.raises(WalCorruptionError, match="base collection changed"):
+            grown_store.load(bigger_base)
+        grown_store.close()
+
+    def test_second_store_on_same_directory_is_refused(self, tmp_path) -> None:
+        first = PersistentIndexStore(tmp_path / "state", sync=False)
+        with pytest.raises(RuntimeError, match="already in use"):
+            PersistentIndexStore(tmp_path / "state", sync=False)
+        first.close()
+        # Releasing the lock makes the directory usable again.
+        second = PersistentIndexStore(tmp_path / "state", sync=False)
+        second.close()
+
+    def test_log_insert_requires_load(self, tmp_path) -> None:
+        store = PersistentIndexStore(tmp_path / "state", sync=False)
+        with pytest.raises(RuntimeError, match="load"):
+            store.log_insert(0, (1, 2))
+
+    def test_recovered_index_is_bit_identical_to_survivor(self, tmp_path) -> None:
+        # The acceptance property behind the CI smoke leg: recovery rebuilds
+        # *exactly* the index the killed process held.
+        store = PersistentIndexStore(tmp_path / "state", sync=False)
+        index, _ = store.load(make_index)
+        for record in [(5, 6, 7), (2, 3, 4), (100, 200)]:
+            store.log_insert(index.insert(record), record)
+        probes = [record for record in index] + [(2, 3), (5, 6, 7, 8)]
+        expected = index.query_batch(probes)
+        store.close()
+
+        recovered_store = PersistentIndexStore(tmp_path / "state", sync=False)
+        recovered, _ = recovered_store.load(make_index)
+        assert recovered.query_batch(probes) == expected
+        recovered_store.close()

@@ -188,6 +188,117 @@ class TestIndexCommand:
                 ["index", "build", str(dataset_file), "--out", "x.pkl", "--candidates", "magic"]
             )
 
+    def test_build_writes_versioned_format(self, dataset_file, tmp_path) -> None:
+        from repro.index.similarity_index import _SAVE_MAGIC
+
+        index_path = tmp_path / "data.idx"
+        main(["index", "build", str(dataset_file), "--out", str(index_path)])
+        assert index_path.read_bytes().startswith(_SAVE_MAGIC)
+
+    def test_query_loads_legacy_bare_pickle(self, dataset_file, tmp_path, capsys) -> None:
+        # Index files written before the versioned format must keep working.
+        import pickle
+
+        from repro.datasets.io import read_dataset
+        from repro.index import SimilarityIndex
+
+        legacy = tmp_path / "legacy.pkl"
+        index = SimilarityIndex.build(read_dataset(dataset_file).records, 0.5, seed=2)
+        legacy.write_bytes(pickle.dumps(index))
+        queries = tmp_path / "queries.txt"
+        write_dataset(Dataset([[1, 2, 3, 4]], name="cliq"), queries)
+        exit_code = main(["index", "query", str(legacy), str(queries), "--out", str(tmp_path / "m.csv")])
+        assert exit_code == 0
+        assert "0,0,1.000000" in (tmp_path / "m.csv").read_text()
+
+
+class TestServeCommand:
+    def test_serve_defaults(self) -> None:
+        args = build_parser().parse_args(["serve"])
+        assert args.input is None
+        assert args.data_dir is None
+        assert args.port == 0
+        assert args.max_batch == 64
+        assert args.max_linger_ms == 2.0
+        assert args.snapshot_every == 512
+        assert not args.no_wal_sync
+
+    def test_serve_executor_choice_restricted(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--executor", "magic"])
+
+    def test_serve_kill_restart_matches_offline_index_query(self, dataset_file, tmp_path) -> None:
+        # The acceptance property end-to-end over real processes: serve,
+        # insert, SIGKILL, restart (WAL replay), and compare every answer
+        # against the offline `repro-join index query` on the same data.
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        from repro.service import ServiceClient
+
+        data_dir = tmp_path / "state"
+        port_file = tmp_path / "port.txt"
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = (
+            "src" + (os.pathsep + environment["PYTHONPATH"] if "PYTHONPATH" in environment else "")
+        )
+
+        def start_server():
+            process = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.cli", "serve", str(dataset_file),
+                    "--data-dir", str(data_dir), "--seed", "7", "--backend", "numpy",
+                    "--port-file", str(port_file), "--no-wal-sync",
+                ],
+                env=environment,
+                cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            )
+            deadline = time.monotonic() + 60.0
+            while not port_file.exists() and time.monotonic() < deadline:
+                assert process.poll() is None, "server exited before binding"
+                time.sleep(0.05)
+            assert port_file.exists(), "server did not report its port"
+            host, port = port_file.read_text().split()
+            return process, host, int(port)
+
+        inserted = [[100, 101, 102], [100, 101, 103]]
+        probes = [[1, 2, 3, 4], [100, 101, 102], [50, 51]]
+        process, host, port = start_server()
+        try:
+            with ServiceClient.connect(host, port, retry_for=10.0) as client:
+                for record in inserted:
+                    client.insert(record)
+                before_kill = client.query_batch(probes)
+        finally:
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        port_file.unlink()
+
+        process, host, port = start_server()
+        try:
+            with ServiceClient.connect(host, port, retry_for=10.0) as client:
+                assert client.stats()["server"]["wal_replayed"] == len(inserted)
+                after_restart = client.query_batch(probes)
+        finally:
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=30)
+        assert after_restart == before_kill
+
+        # Offline reference: the same collection built the same way.
+        from repro.datasets.io import read_dataset
+        from repro.index import SimilarityIndex
+
+        offline = SimilarityIndex.build(
+            read_dataset(dataset_file).records + [tuple(r) for r in inserted],
+            0.5,
+            backend="numpy",
+            seed=7,
+        )
+        assert after_restart == offline.query_batch([tuple(p) for p in probes])
+
 
 class TestGenerateAndStats:
     def test_generate_then_stats_roundtrip(self, tmp_path, capsys) -> None:

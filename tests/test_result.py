@@ -75,6 +75,37 @@ class TestJoinStats:
         assert stats.as_dict()["worker_seconds"] == 2.5
 
 
+class TestSnapshotDelta:
+    def test_delta_reports_only_what_accumulated_since(self) -> None:
+        stats = JoinStats(algorithm="SIMINDEX", threshold=0.5, candidates=10, verify_seconds=1.0)
+        before = stats.snapshot()
+        stats.candidates += 7
+        stats.verify_seconds += 0.25
+        session = stats.delta(before)
+        assert session["candidates"] == 7
+        assert session["verify_seconds"] == pytest.approx(0.25)
+        assert session["pre_candidates"] == 0
+
+    def test_configuration_fields_pass_through_undiffed(self) -> None:
+        stats = JoinStats(algorithm="SIMINDEX", threshold=0.5)
+        session = stats.delta(stats.snapshot())
+        assert session["algorithm"] == "SIMINDEX"
+        assert session["threshold"] == 0.5
+
+    def test_extra_keys_appearing_after_the_snapshot_diff_against_zero(self) -> None:
+        stats = JoinStats()
+        before = stats.snapshot()
+        stats.extra["queries"] = 12.0
+        assert stats.delta(before)["queries"] == 12.0
+
+    def test_snapshot_is_frozen_against_later_mutation(self) -> None:
+        stats = JoinStats(candidates=3)
+        before = stats.snapshot()
+        stats.candidates = 30
+        assert before["candidates"] == 3
+        assert stats.delta(before)["candidates"] == 27
+
+
 class TestJoinResult:
     def make(self) -> JoinResult:
         return JoinResult(pairs={(1, 2), (3, 4)}, stats=JoinStats(results=2))
