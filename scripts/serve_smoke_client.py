@@ -12,11 +12,17 @@ Usage::
 
     # wait for the port file, query only
     python scripts/serve_smoke_client.py query PORT_FILE QUERIES OUT_CSV
+
+    # flood the server beyond its admission capacity and assert the
+    # overload policy: some requests shed with `busy`, `health` keeps
+    # answering mid-flood, every flood request gets a response.
+    python scripts/serve_smoke_client.py flood PORT_FILE QUERIES
 """
 
 from __future__ import annotations
 
 import argparse
+import socket
 import sys
 import time
 from pathlib import Path
@@ -24,6 +30,10 @@ from pathlib import Path
 from repro.datasets.io import read_dataset
 from repro.evaluation.reports import rows_to_csv
 from repro.service import ServiceClient
+from repro.service.protocol import decode_message, encode_message
+
+FLOOD_REQUESTS = 200
+"""Pipelined point queries the flood mode blasts down one connection."""
 
 
 def wait_for_port_file(path: Path, timeout: float = 60.0) -> tuple:
@@ -37,20 +47,82 @@ def wait_for_port_file(path: Path, timeout: float = 60.0) -> tuple:
     raise SystemExit(f"server never wrote its port file at {path}")
 
 
+def run_flood(host: str, port: int, queries) -> None:
+    """Flood one connection past capacity; fail unless the server sheds
+    with ``busy`` while ``health`` (ungated) keeps answering."""
+    sock = socket.create_connection((host, port), timeout=60.0)
+    admitted = 0
+    shed = 0
+    try:
+        # Blast the whole flood without reading a single response: the
+        # admission gate and the per-connection cap must shed the excess
+        # instead of queueing it without bound.
+        for request_id in range(FLOOD_REQUESTS):
+            record = queries[request_id % len(queries)]
+            sock.sendall(
+                encode_message(
+                    {"id": request_id, "op": "query", "record": list(record)}
+                )
+            )
+        # Mid-flood liveness: health is deliberately ungated, so it must
+        # answer while the gate is busy shedding the flood.
+        with ServiceClient.connect(host, port, timeout=10.0) as probe:
+            health = probe.health()
+            if health.get("status") != "ok":
+                raise SystemExit(f"health degraded mid-flood: {health!r}")
+        reader = sock.makefile("rb")
+        for _ in range(FLOOD_REQUESTS):
+            line = reader.readline()
+            if not line:
+                raise SystemExit("server closed the connection mid-flood")
+            response = decode_message(line)
+            if response.get("ok"):
+                admitted += 1
+            elif response.get("busy"):
+                shed += 1
+            else:
+                raise SystemExit(f"unexpected flood response: {response!r}")
+    finally:
+        sock.close()
+    if shed == 0:
+        raise SystemExit(
+            f"flood of {FLOOD_REQUESTS} pipelined requests was fully admitted; "
+            "the overload policy never shed"
+        )
+    # The server must still be healthy after the flood, with the sheds
+    # visible in its stats.
+    with ServiceClient.connect(host, port, timeout=10.0) as probe:
+        if probe.health().get("status") != "ok":
+            raise SystemExit("server unhealthy after the flood")
+        stats_shed = probe.stats()["server"]["shed_total"]
+    if not stats_shed:
+        raise SystemExit("stats reports shed_total=0 after a shedding flood")
+    print(
+        f"# flood: {FLOOD_REQUESTS} offered, {admitted} admitted, {shed} shed "
+        f"(stats shed_total={stats_shed}); health stayed ok",
+        file=sys.stderr,
+    )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("mode", choices=["query", "insert-and-query"])
+    parser.add_argument("mode", choices=["query", "insert-and-query", "flood"])
     parser.add_argument("port_file", type=Path)
-    parser.add_argument("files", nargs="+", type=Path, help="[inserts] queries out_csv")
+    parser.add_argument("files", nargs="+", type=Path, help="[inserts] queries [out_csv]")
     args = parser.parse_args()
 
-    expected = 3 if args.mode == "insert-and-query" else 2
+    expected = {"query": 2, "insert-and-query": 3, "flood": 1}[args.mode]
     if len(args.files) != expected:
         parser.error(f"mode {args.mode!r} takes {expected} file arguments")
-    inserts_path = args.files[0] if args.mode == "insert-and-query" else None
-    queries_path, out_path = args.files[-2], args.files[-1]
 
     host, port = wait_for_port_file(args.port_file)
+
+    if args.mode == "flood":
+        run_flood(host, port, read_dataset(args.files[0]).records)
+        return 0
+
+    inserts_path = args.files[0] if args.mode == "insert-and-query" else None
+    queries_path, out_path = args.files[-2], args.files[-1]
     with ServiceClient.connect(host, port, retry_for=30.0) as client:
         if inserts_path is not None:
             for record in read_dataset(inserts_path).records:

@@ -226,6 +226,27 @@ def build_parser() -> argparse.ArgumentParser:
         "kill, but not an OS crash)",
     )
     serve_parser.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="overload policy: work requests executing concurrently before new "
+        "ones queue (default 64)",
+    )
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=256,
+        help="overload policy: requests waiting for an execution slot (and "
+        "pending inserts in the writer queue) before the server sheds with a "
+        "'busy' error (default 256)",
+    )
+    serve_parser.add_argument(
+        "--max-conn-inflight", type=int, default=32,
+        help="overload policy: responses outstanding on one connection before "
+        "its further requests are shed with 'busy' (default 32)",
+    )
+    serve_parser.add_argument(
+        "--request-deadline-ms", type=float, default=0.0,
+        help="drop requests not answered within this many milliseconds — the "
+        "client has typically stopped waiting (default 0: no deadline)",
+    )
+    serve_parser.add_argument(
         "--port-file", type=str, default=None,
         help="write 'host port' to this file once the server is listening "
         "(for scripts starting the server in the background)",
@@ -433,6 +454,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_linger_ms=args.max_linger_ms,
         snapshot_every=args.snapshot_every,
         wal_sync=not args.no_wal_sync,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        max_conn_inflight=args.max_conn_inflight,
+        request_deadline_ms=args.request_deadline_ms,
     )
 
     async def _serve() -> None:

@@ -16,6 +16,16 @@ that claim:
 * **parity** — every single response is compared against an offline
   :meth:`repro.index.SimilarityIndex.query_batch` over the same queries;
   the benchmark refuses to report numbers for a diverging transcript.
+* **overload** — a second phase floods a deliberately small-capacity
+  server (``max_inflight=4``, ``max_queue=8``) with pipelined clients
+  offering well over twice the uncontended capacity.  The server must
+  shed the excess with ``busy`` at admission while the requests it *does*
+  admit stay fast: the row records offered vs admitted throughput, the
+  shed rate, and the admitted-request p50/p95/p99 next to the uncontended
+  p99 — the bounded-queue policy keeps that ratio a small constant, where
+  the old unbounded server let p99 grow with the backlog.  Admitted
+  responses are parity-checked exactly like the baseline phase; shed
+  requests cost no index work at all.
 
 Results are written to ``BENCH_serve.json`` (see
 :func:`repro.experiments.common.write_bench_json`), which records the CPU
@@ -30,6 +40,7 @@ CLI (``repro-join experiment serve-bench``), or via
 from __future__ import annotations
 
 import os
+import socket
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -38,8 +49,9 @@ from repro.datasets.profiles import generate_profile_dataset
 from repro.experiments.common import format_table, make_parser, write_bench_json
 from repro.index import SimilarityIndex
 from repro.service import ServiceClient, SimilarityServer, serve_in_thread
+from repro.service.protocol import decode_message, encode_message
 
-__all__ = ["run", "main", "DEFAULT_COALESCING_SETTINGS"]
+__all__ = ["run", "main", "DEFAULT_COALESCING_SETTINGS", "OVERLOAD_SETTINGS"]
 
 Match = Tuple[int, float]
 
@@ -51,6 +63,17 @@ DEFAULT_COALESCING_SETTINGS: Tuple[Tuple[int, float], ...] = (
     (64, 10.0),
 )
 """Coalescing settings swept by the benchmark (baseline + three lingers)."""
+
+OVERLOAD_SETTINGS: Dict[str, int] = {
+    # A deliberately small capacity so 8 pipelined clients offer far more
+    # than the server will admit: 4 executing + 8 queued, everything else
+    # shed at admission with `busy`.
+    "max_inflight": 4,
+    "max_queue": 8,
+    "window": 16,  # requests each flood client keeps outstanding
+    "requests_per_client": 400,
+}
+"""Admission caps and flood shape of the overload phase."""
 
 
 def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
@@ -74,6 +97,167 @@ def _drive_one_client(
             responses.append(client.query(query))
             latencies.append(time.perf_counter() - started)
     return latencies, responses
+
+
+def _drive_flood_client(
+    address: Tuple[str, int],
+    queries: Sequence[Tuple[int, ...]],
+    expected: Sequence[List[Match]],
+    total_requests: int,
+    window: int,
+) -> Tuple[int, int, List[float], int]:
+    """One overload client: a pipelined window of point queries, no pacing.
+
+    Keeps ``window`` requests outstanding on one connection (responses are
+    matched back by id, so busy sheds interleave freely with admitted
+    answers), classifies every response as admitted or shed, and
+    parity-checks admitted answers against the offline transcript.
+    Returns ``(sent, shed, admitted_latencies, mismatches)``.
+    """
+    sock = socket.create_connection(address, timeout=60.0)
+    sent = 0
+    shed = 0
+    mismatches = 0
+    latencies: List[float] = []
+    pending: Dict[int, Tuple[int, float]] = {}  # request id -> (query index, send time)
+    try:
+        reader = sock.makefile("rb")
+        while sent < total_requests or pending:
+            while sent < total_requests and len(pending) < window:
+                query_index = sent % len(queries)
+                message = {"id": sent, "op": "query", "record": list(queries[query_index])}
+                sock.sendall(encode_message(message))
+                pending[sent] = (query_index, time.perf_counter())
+                sent += 1
+            line = reader.readline()
+            if not line:
+                raise RuntimeError("server closed the connection mid-flood")
+            response = decode_message(line)
+            query_index, send_time = pending.pop(response["id"])
+            if response.get("ok"):
+                latencies.append(time.perf_counter() - send_time)
+                matches = [
+                    (int(record_id), float(similarity))
+                    for record_id, similarity in response["result"]["matches"]
+                ]
+                if matches != expected[query_index]:
+                    mismatches += 1
+            elif response.get("busy"):
+                shed += 1
+            else:
+                raise RuntimeError(f"unexpected flood response: {response!r}")
+    finally:
+        sock.close()
+    return sent, shed, latencies, mismatches
+
+
+def _run_overload_phase(
+    index: "SimilarityIndex",
+    workload: str,
+    shards: Sequence[Sequence[Tuple[int, ...]]],
+    expected_shards: Sequence[List[List[Match]]],
+    uncontended_p99_ms: float,
+) -> Dict[str, object]:
+    """Flood a small-capacity server and measure the admission policy.
+
+    The server gets ``OVERLOAD_SETTINGS`` capacity (4 executing + 8
+    queued); each client keeps ``window`` requests pipelined with no
+    pacing, so the offered load is far beyond what the gate admits.  The
+    row this returns proves the three load-shedding properties the
+    acceptance criteria name: nonzero ``shed_total`` in ``stats``, a
+    ``queue_peak`` within the configured bound, and an admitted-request
+    p99 within a small constant factor of the uncontended p99 — with
+    every admitted answer still bit-identical to offline ``query_batch``.
+    """
+    settings = OVERLOAD_SETTINGS
+    server = SimilarityServer(
+        index=index,
+        max_batch=64,
+        max_linger_ms=0.0,
+        max_inflight=settings["max_inflight"],
+        max_queue=settings["max_queue"],
+    )
+    handle = serve_in_thread(server)
+    try:
+        began = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+            outcomes = list(
+                pool.map(
+                    lambda pair: _drive_flood_client(
+                        handle.address,
+                        pair[0],
+                        pair[1],
+                        settings["requests_per_client"],
+                        settings["window"],
+                    ),
+                    zip(shards, expected_shards),
+                )
+            )
+        elapsed = time.perf_counter() - began
+        with ServiceClient.connect(*handle.address) as probe:
+            server_stats = probe.stats()["server"]
+    finally:
+        handle.stop()
+
+    sent = sum(outcome[0] for outcome in outcomes)
+    shed = sum(outcome[1] for outcome in outcomes)
+    mismatches = sum(outcome[3] for outcome in outcomes)
+    latencies = sorted(
+        latency for outcome in outcomes for latency in outcome[2]
+    )
+    admitted = len(latencies)
+    if mismatches:
+        raise AssertionError(
+            f"{mismatches} admitted flood responses diverged from offline query_batch"
+        )
+    if shed == 0 or int(server_stats["shed_total"]) == 0:
+        raise AssertionError(
+            "overload flood was fully admitted: the admission gate never shed "
+            f"(sent={sent}, capacity {settings['max_inflight']}+{settings['max_queue']})"
+        )
+    if int(server_stats["queue_peak"]) > settings["max_queue"]:
+        raise AssertionError(
+            f"admission queue peaked at {server_stats['queue_peak']} beyond the "
+            f"configured max_queue={settings['max_queue']} bound"
+        )
+    if sent < 2 * admitted:
+        raise AssertionError(
+            f"flood offered only {sent} requests for {admitted} admitted — "
+            "below the 2x-capacity offered load the overload phase must exercise"
+        )
+
+    p99_ms = round(1000.0 * _percentile(latencies, 0.99), 3)
+    batches = max(1, int(server_stats["coalescer"]["batches"]))
+    return {
+        "phase": "overload",
+        "workload": workload,
+        "records": len(index),
+        "clients": len(shards),
+        "queries": admitted,
+        "max_batch": 64,
+        "linger_ms": 0.0,
+        "throughput_qps": round(admitted / elapsed, 1),
+        "p50_ms": round(1000.0 * _percentile(latencies, 0.50), 3),
+        "p95_ms": round(1000.0 * _percentile(latencies, 0.95), 3),
+        "p99_ms": p99_ms,
+        "batches": batches,
+        "mean_batch": round(admitted / batches, 2),
+        "parity": "ok",
+        # Overload-specific columns (recorded in BENCH_serve.json).
+        "offered_requests": sent,
+        "offered_qps": round(sent / elapsed, 1),
+        "shed": shed,
+        "shed_rate": round(shed / sent, 3),
+        "stats_shed_total": int(server_stats["shed_total"]),
+        "max_inflight": settings["max_inflight"],
+        "max_queue": settings["max_queue"],
+        "queue_peak": int(server_stats["queue_peak"]),
+        "inflight_peak": int(server_stats["inflight_peak"]),
+        "uncontended_p99_ms": uncontended_p99_ms,
+        "p99_over_uncontended": round(p99_ms / uncontended_p99_ms, 2)
+        if uncontended_p99_ms
+        else 0.0,
+    }
 
 
 def run(
@@ -105,6 +289,15 @@ def run(
     ]
     expected = index.query_batch(rng_queries)
 
+    shards = [
+        rng_queries[client * queries_per_client : (client + 1) * queries_per_client]
+        for client in range(num_clients)
+    ]
+    expected_shards = [
+        expected[client * queries_per_client : (client + 1) * queries_per_client]
+        for client in range(num_clients)
+    ]
+
     rows: List[Dict[str, object]] = []
     for max_batch, linger_ms in settings:
         server = SimilarityServer(
@@ -112,10 +305,6 @@ def run(
         )
         handle = serve_in_thread(server)
         try:
-            shards = [
-                rng_queries[client * queries_per_client : (client + 1) * queries_per_client]
-                for client in range(num_clients)
-            ]
             began = time.perf_counter()
             with ThreadPoolExecutor(max_workers=num_clients) as pool:
                 outcomes = list(
@@ -143,6 +332,7 @@ def run(
         batches = max(1, int(coalescer["batches"]))
         rows.append(
             {
+                "phase": "coalesce",
                 "workload": dataset.name,
                 "records": len(index),
                 "clients": num_clients,
@@ -158,6 +348,22 @@ def run(
                 "parity": "ok",
             }
         )
+
+    # The uncontended reference for the overload phase: the sweep row with
+    # the overload server's own coalescing settings (same-tick merging).
+    reference = next(
+        (row for row in rows if row["max_batch"] == 64 and row["linger_ms"] == 0.0),
+        rows[-1],
+    )
+    rows.append(
+        _run_overload_phase(
+            index,
+            dataset.name,
+            shards,
+            expected_shards,
+            uncontended_p99_ms=float(reference["p99_ms"]),
+        )
+    )
 
     if out_json:
         write_bench_json(
@@ -196,7 +402,21 @@ def main() -> None:
         queries_per_client=args.queries_per_client,
         out_json=args.out_json,
     )
-    print(format_table(rows))
+    coalesce_rows = [row for row in rows if row["phase"] == "coalesce"]
+    overload_rows = [row for row in rows if row["phase"] == "overload"]
+    print(format_table(coalesce_rows))
+    if overload_rows:
+        print("\noverload phase (flood beyond admission capacity):")
+        print(
+            format_table(
+                overload_rows,
+                columns=[
+                    "offered_qps", "throughput_qps", "shed_rate", "queue_peak",
+                    "max_queue", "p50_ms", "p99_ms", "uncontended_p99_ms",
+                    "p99_over_uncontended", "parity",
+                ],
+            )
+        )
     print(f"\n(cpu_count={os.cpu_count()}; artifact written to {args.out_json})")
 
 

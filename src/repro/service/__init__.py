@@ -10,6 +10,10 @@ lookups and live inserts over the wire, and survives being killed:
 * :mod:`repro.service.coalescer` — the request coalescer micro-batching
   concurrent point queries into single ``query_batch`` calls, so the
   vectorized kernels are amortized across users.
+* :mod:`repro.service.admission` — the overload policy: bounded admission
+  (in-flight slots + a bounded wait queue) shedding excess load with
+  ``busy`` responses instead of letting queues and latency grow without
+  bound.
 * :mod:`repro.service.wal` — snapshot + write-ahead-log persistence with
   idempotent, torn-tail-tolerant replay.
 * :mod:`repro.service.server` — the asyncio server tying it together: one
@@ -23,15 +27,20 @@ bit-identical to offline ``SimilarityIndex.query_batch`` over the same
 records — the property the test suite and the CI smoke leg assert.
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.admission import AdmissionGate, ServerOverloadedError
+from repro.service.client import ServerBusyError, ServiceClient, ServiceError, retry_busy
 from repro.service.coalescer import QueryCoalescer
 from repro.service.protocol import ProtocolError
 from repro.service.server import ServerHandle, SimilarityServer, serve_in_thread
 from repro.service.wal import PersistentIndexStore, WalCorruptionError, WriteAheadLog
 
 __all__ = [
+    "AdmissionGate",
+    "ServerOverloadedError",
     "ServiceClient",
     "ServiceError",
+    "ServerBusyError",
+    "retry_busy",
     "QueryCoalescer",
     "ProtocolError",
     "SimilarityServer",

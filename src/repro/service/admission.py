@@ -1,0 +1,122 @@
+"""Bounded admission control for the serving tier.
+
+The PR 5 server accepted work without bound: every connection could spawn
+unlimited concurrent request tasks and the insert writer queue was an
+unbounded ``asyncio.Queue``, so offered load beyond capacity grew queues —
+and latency, and memory — without limit instead of being refused.  This
+module is the policy half of the fix, in the classic SEDA/load-shedding
+mold: a fixed number of execution slots fronted by a bounded FIFO wait
+queue, and an explicit :class:`ServerOverloadedError` ("``busy``" on the
+wire) the moment both are full.  Shedding at admission keeps the work the
+server *does* accept fast — an admitted request waits behind at most
+``max_queue`` others — and costs a rejected client one round trip instead
+of an unbounded stall.
+
+:class:`AdmissionGate` is deliberately loop-native (futures, no locks): it
+is only ever touched from the server's event loop, and a waiter cancelled
+by a deadline or a vanished client is skipped when its turn comes, so
+abandoned requests never consume an execution slot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Dict
+
+__all__ = ["AdmissionGate", "ServerOverloadedError"]
+
+
+class ServerOverloadedError(RuntimeError):
+    """The server is at capacity; the request was shed at admission time.
+
+    Answered on the wire as an error response carrying ``"busy": true``
+    (see :func:`repro.service.protocol.busy_response`), which the client
+    surfaces as the retryable :class:`repro.service.client.ServerBusyError`.
+    """
+
+
+class AdmissionGate:
+    """``max_inflight`` execution slots behind a ``max_queue``-bounded FIFO.
+
+    ``acquire()`` either takes a free slot immediately, waits in the bounded
+    queue for one, or raises :class:`ServerOverloadedError` when both are
+    full — it never grows state without bound.  ``release()`` hands the
+    freed slot to the oldest *live* waiter (cancelled waiters are dropped
+    unserved).  Fairness is FIFO over admitted waiters.
+    """
+
+    def __init__(self, max_inflight: int, max_queue: int) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be non-negative")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self._inflight = 0
+        self._waiters: Deque[asyncio.Future] = deque()
+        self.counters: Dict[str, int] = {
+            "admitted_total": 0,
+            "shed_total": 0,
+            "inflight_peak": 0,
+            "queue_peak": 0,
+        }
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently holding an execution slot."""
+        return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a slot."""
+        return len(self._waiters)
+
+    async def acquire(self) -> None:
+        """Take an execution slot, waiting in the bounded queue if needed.
+
+        Raises :class:`ServerOverloadedError` immediately — without waiting
+        — when all slots are busy and the wait queue is full.
+        """
+        if self._inflight < self.max_inflight:
+            self._grant()
+            return
+        if len(self._waiters) >= self.max_queue:
+            self.counters["shed_total"] += 1
+            raise ServerOverloadedError(
+                f"server at capacity: {self._inflight} requests in flight and "
+                f"{len(self._waiters)} queued (max_inflight={self.max_inflight}, "
+                f"max_queue={self.max_queue}); retry with backoff"
+            )
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        self.counters["queue_peak"] = max(self.counters["queue_peak"], len(self._waiters))
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            if waiter.done() and not waiter.cancelled():
+                # Lost race: the slot was granted in the same tick the waiter
+                # was cancelled (deadline/disconnect) — pass it straight on.
+                self.release()
+            else:
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:
+                    pass  # release() already discarded it
+            raise
+
+    def release(self) -> None:
+        """Free a slot and grant it to the oldest still-live waiter."""
+        self._inflight -= 1
+        while self._waiters and self._inflight < self.max_inflight:
+            waiter = self._waiters.popleft()
+            if waiter.done():  # cancelled while queued; never admitted
+                continue
+            self._grant()
+            waiter.set_result(None)
+            return
+
+    def _grant(self) -> None:
+        self._inflight += 1
+        self.counters["admitted_total"] += 1
+        self.counters["inflight_peak"] = max(self.counters["inflight_peak"], self._inflight)

@@ -18,13 +18,19 @@ Usage::
 
 One client instance is one connection and is **not** thread-safe; give each
 thread its own client (connections are cheap).
+
+An overloaded server sheds requests at admission with a ``busy`` error,
+surfaced as the typed :class:`ServerBusyError` (retryable — wrap hot paths
+in :func:`retry_busy` for bounded backoff).  Any timeout or OS error on the
+read path closes the client: the buffered reader may hold a partial
+response line, and parsing past it would desync request/response ids.
 """
 
 from __future__ import annotations
 
 import socket
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
 
 from repro.service.protocol import (
     Match,
@@ -34,11 +40,53 @@ from repro.service.protocol import (
     encode_message,
 )
 
-__all__ = ["ServiceError", "ServiceClient"]
+__all__ = ["ServiceError", "ServerBusyError", "ServiceClient", "retry_busy"]
+
+T = TypeVar("T")
 
 
 class ServiceError(RuntimeError):
     """The server answered a request with an error response."""
+
+
+class ServerBusyError(ServiceError):
+    """The server shed the request at admission time (overload policy).
+
+    Unlike other :class:`ServiceError` responses, no work was attempted:
+    the request is safe to retry — ideally with backoff, see
+    :func:`retry_busy`.
+    """
+
+
+def retry_busy(
+    operation: Callable[[], T],
+    attempts: int = 5,
+    base_delay: float = 0.01,
+    max_delay: float = 0.25,
+) -> T:
+    """Run a client operation, retrying with bounded exponential backoff
+    whenever the server sheds it as ``busy``.
+
+    ``operation`` is any zero-argument callable (typically a bound client
+    call, e.g. ``lambda: client.query(record)``).  Only
+    :class:`ServerBusyError` is retried — every other failure, including
+    deadline errors and connection loss, propagates immediately, because
+    retrying those can duplicate work the server may already have done.
+    The last attempt's ``ServerBusyError`` propagates once ``attempts``
+    are exhausted.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    delay = base_delay
+    for attempt in range(attempts):
+        try:
+            return operation()
+        except ServerBusyError:
+            if attempt == attempts - 1:
+                raise
+            time.sleep(delay)
+            delay = min(max_delay, delay * 2.0)
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 class ServiceClient:
@@ -48,6 +96,7 @@ class ServiceClient:
         self._socket = sock
         self._reader = sock.makefile("rb")
         self._next_id = 0
+        self._closed = False
 
     @classmethod
     def connect(
@@ -104,14 +153,34 @@ class ServiceClient:
 
     # ------------------------------------------------------------------ plumbing
     def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one request and block for its response's ``result``."""
+        """Send one request and block for its response's ``result``.
+
+        Any timeout or OS error on the send/read path is fatal for the
+        connection: a timeout mid-``readline`` leaves a partial response
+        line in the buffered reader, so a later read would parse garbage
+        or hand back a mismatched id.  The client closes itself and raises
+        ``ConnectionError``; open a fresh connection to continue.
+        """
+        if self._closed:
+            raise ConnectionError(
+                "client connection is closed (a previous timeout or read error "
+                "desynced the stream); open a new ServiceClient"
+            )
         request_id = self._next_id
         self._next_id += 1
         message = dict(message)
         message.setdefault("id", request_id)
-        self._socket.sendall(encode_message(message))
-        line = self._reader.readline()
+        try:
+            self._socket.sendall(encode_message(message))
+            line = self._reader.readline()
+        except OSError as error:  # socket.timeout is an OSError subclass
+            self.close()
+            raise ConnectionError(
+                f"connection to the server failed mid-request ({error!r}); the "
+                "stream may hold a partial response, so the connection was closed"
+            ) from error
         if not line:
+            self.close()
             raise ConnectionError("server closed the connection")
         response = decode_message(line)
         if response.get("id") != message["id"]:
@@ -119,13 +188,19 @@ class ServiceClient:
                 f"response id {response.get('id')!r} does not match request id {message['id']!r}"
             )
         if not response.get("ok"):
-            raise ServiceError(response.get("error") or "unspecified server error")
+            error_text = response.get("error") or "unspecified server error"
+            if response.get("busy"):
+                raise ServerBusyError(error_text)
+            raise ServiceError(error_text)
         result = response.get("result")
         return result if isinstance(result, dict) else {}
 
     def close(self) -> None:
+        self._closed = True
         try:
             self._reader.close()
+        except OSError:  # a timed-out/broken socket may refuse the flush
+            pass
         finally:
             self._socket.close()
 

@@ -67,6 +67,7 @@ class QueryCoalescer:
             "linger_flushes": 0,
             "drain_flushes": 0,
             "max_batch_observed": 0,
+            "cancelled_dropped": 0,
         }
 
     async def submit(self, record: Record) -> Any:
@@ -103,7 +104,15 @@ class QueryCoalescer:
         if self._linger_handle is not None:
             self._linger_handle.cancel()
             self._linger_handle = None
-        batch, self._pending = self._pending, []
+        # A submitter cancelled while pending (deadline, shed, vanished
+        # client) has a done future: executing its record would be pure
+        # waste — and under overload, waste is exactly what balloons the
+        # queue — so drop it here and only batch live queries.
+        batch = [(record, future) for record, future in self._pending if not future.done()]
+        self.counters["cancelled_dropped"] += len(self._pending) - len(batch)
+        self._pending = []
+        if not batch:
+            return
         self.counters["batches"] += 1
         self.counters[reason] += 1
         self.counters["max_batch_observed"] = max(

@@ -20,6 +20,12 @@ Responses::
     {"id": 7, "ok": true,  "result": {"matches": [[12, 0.8], [3, 0.5]]}}
     {"id": 9, "ok": true,  "result": {"record_id": 1041}}
     {"id": 4, "ok": false, "error": "unknown operation 'qeury'"}
+    {"id": 5, "ok": false, "error": "server at capacity: ...", "busy": true}
+
+The ``busy`` flag marks an overload shed: the server refused the request at
+admission time (bounded queues full) without doing any work, so — unlike
+ordinary errors — the request is safe to retry with backoff.  Clients see
+it as the typed :class:`repro.service.client.ServerBusyError`.
 
 Match lists are ``[record_id, similarity]`` pairs in the exact order
 :meth:`repro.index.SimilarityIndex.query_batch` returns them (decreasing
@@ -44,6 +50,7 @@ __all__ = [
     "decode_matches",
     "ok_response",
     "error_response",
+    "busy_response",
 ]
 
 Match = Tuple[int, float]
@@ -139,3 +146,8 @@ def ok_response(request_id: Optional[Any], result: Dict[str, Any]) -> Dict[str, 
 def error_response(request_id: Optional[Any], error: str) -> Dict[str, Any]:
     """An error response echoing the request id."""
     return {"id": request_id, "ok": False, "error": str(error)}
+
+
+def busy_response(request_id: Optional[Any], error: str) -> Dict[str, Any]:
+    """An overload shed: an error response flagged ``busy`` (safe to retry)."""
+    return {"id": request_id, "ok": False, "error": str(error), "busy": True}

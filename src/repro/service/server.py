@@ -21,6 +21,18 @@ carry the subsystem:
   inserts (plus on clean shutdown) the index is snapshotted atomically and
   the WAL truncated (:mod:`repro.service.wal`).  A killed server replays
   WAL-on-snapshot at startup and answers exactly as before the kill.
+* **Bounded overload.**  Work requests (``query``/``query_batch``/
+  ``insert``) pass an :class:`repro.service.admission.AdmissionGate`:
+  ``max_inflight`` execute concurrently, ``max_queue`` wait, everything
+  beyond that is shed *at admission* with a ``busy`` error instead of
+  growing queues without bound.  Per-connection pipelining is capped the
+  same way (``max_conn_inflight``), the insert writer queue is bounded,
+  requests past ``request_deadline_ms`` are dropped (their client stopped
+  waiting), and the server pauses reading from a connection whose write
+  buffer is full, so a slow reader backpressures itself instead of
+  ballooning server memory.  Admission changes *whether* a request runs,
+  never its answer — the offline-parity guarantee covers every admitted
+  request.
 
 Run it via ``repro-join serve``, embed it with :func:`serve_in_thread`
 (tests, benchmarks, examples), or drive :class:`SimilarityServer` directly
@@ -37,10 +49,12 @@ from pathlib import Path
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.index.similarity_index import SimilarityIndex, normalized_tokens
+from repro.service.admission import AdmissionGate, ServerOverloadedError
 from repro.service.coalescer import QueryCoalescer
 from repro.service.protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
+    busy_response,
     decode_message,
     encode_matches,
     encode_message,
@@ -54,6 +68,32 @@ __all__ = ["SimilarityServer", "ServerHandle", "serve_in_thread"]
 
 Record = Tuple[int, ...]
 IndexFactory = Callable[[], SimilarityIndex]
+
+GATED_OPERATIONS = frozenset({"query", "query_batch", "insert"})
+"""Operations that cost index work and therefore pass admission control.
+
+``stats`` and ``health`` stay ungated on purpose: they are how operators
+(and the CI flood smoke leg) observe an overloaded server, so they must
+keep answering precisely when the gate is shedding everything else.
+"""
+
+
+class _DeadlineExceeded(Exception):
+    """A request ran past ``request_deadline_ms`` and was dropped."""
+
+
+def _peek_request_id(line: bytes) -> Optional[Any]:
+    """Best-effort extraction of the request id from a raw line.
+
+    Used when a request is shed *before* being handled (per-connection
+    cap), so the busy response can still be matched by the client; a
+    malformed line just gets a null id.
+    """
+    try:
+        raw_id = decode_message(line).get("id")
+    except ProtocolError:
+        return None
+    return raw_id if isinstance(raw_id, (int, str)) else None
 
 
 def _normalize_record(tokens: Sequence[int], what: str) -> Record:
@@ -92,6 +132,24 @@ class SimilarityServer:
     wal_sync:
         fsync WAL appends before acknowledging inserts (durability across
         OS crashes; disable for benchmarks).
+    max_inflight / max_queue:
+        The overload policy: at most ``max_inflight`` work requests
+        (``query``/``query_batch``/``insert``) execute concurrently and at
+        most ``max_queue`` wait for a slot; anything beyond is shed with a
+        ``busy`` error at admission time.  The insert writer queue is
+        bounded by ``max_queue`` as well.
+    max_conn_inflight:
+        Per-connection pipelining cap: a connection with this many
+        responses outstanding has further requests shed with ``busy``.
+    request_deadline_ms:
+        Drop requests (queued or executing) that have not been answered
+        this many milliseconds after arrival — the client has typically
+        stopped waiting.  ``0`` disables deadlines.
+    write_buffer_high:
+        High-water mark (bytes) of each connection's send buffer; above it
+        the server stops reading that connection's requests until the
+        client drains its responses.  ``None`` keeps asyncio's default
+        (64 KiB); tests set it low to exercise the backpressure path.
     """
 
     def __init__(
@@ -106,11 +164,24 @@ class SimilarityServer:
         max_linger_ms: float = 2.0,
         snapshot_every: int = 512,
         wal_sync: bool = True,
+        max_inflight: int = 64,
+        max_queue: int = 256,
+        max_conn_inflight: int = 32,
+        request_deadline_ms: float = 0.0,
+        write_buffer_high: Optional[int] = None,
     ) -> None:
         if (index is None) == (index_factory is None):
             raise ValueError("provide exactly one of index= or index_factory=")
         if snapshot_every < 0:
             raise ValueError("snapshot_every must be non-negative")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be non-negative")
+        if max_conn_inflight < 1:
+            raise ValueError("max_conn_inflight must be at least 1")
+        if request_deadline_ms < 0:
+            raise ValueError("request_deadline_ms must be non-negative")
         self._factory: IndexFactory = index_factory if index_factory is not None else (lambda: index)
         self._data_dir = None if data_dir is None else Path(data_dir)
         self.host = host
@@ -119,6 +190,11 @@ class SimilarityServer:
         self.max_linger_ms = max_linger_ms
         self.snapshot_every = snapshot_every
         self.wal_sync = wal_sync
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.max_conn_inflight = max_conn_inflight
+        self.request_deadline_ms = request_deadline_ms
+        self._write_buffer_high = write_buffer_high
 
         self._index: Optional[SimilarityIndex] = None
         self._store: Optional[PersistentIndexStore] = None
@@ -133,7 +209,9 @@ class SimilarityServer:
         self._wal_replayed = 0
         self._inserts_since_snapshot = 0
         self._wal_failed = False
-        self._started_at = 0.0
+        self._started_at = 0.0  # wall clock, human-facing only
+        self._started_monotonic = 0.0  # durations (NTP steps must not move uptime)
+        self._admission = AdmissionGate(max_inflight, max_queue)
         self.counters: Dict[str, float] = {
             "connections": 0,
             "requests": 0,
@@ -141,13 +219,30 @@ class SimilarityServer:
             "snapshots": 0,
             "snapshot_failures": 0,
             "protocol_errors": 0,
+            "shed_connection": 0,
+            "shed_writer": 0,
+            "deadline_drops": 0,
+            "cancelled_inserts": 0,
         }
 
     @property
     def index(self) -> SimilarityIndex:
-        """The resident index (available after :meth:`start`)."""
-        assert self._index is not None, "server not started"
+        """The resident index (available between :meth:`start` and :meth:`stop`)."""
+        if self._index is None:
+            raise RuntimeError(
+                "server is not running: start() has not completed or stop() already "
+                "released the index"
+            )
         return self._index
+
+    @property
+    def shed_total(self) -> int:
+        """Requests shed with ``busy`` across every admission point."""
+        return int(
+            self._admission.counters["shed_total"]
+            + self.counters["shed_connection"]
+            + self.counters["shed_writer"]
+        )
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -170,7 +265,9 @@ class SimilarityServer:
             self._coalescer = QueryCoalescer(
                 self._run_query_batch, max_batch=self.max_batch, max_linger_ms=self.max_linger_ms
             )
-            self._write_queue = asyncio.Queue()
+            # Bounded like the admission queue: an insert burst beyond it is
+            # shed with busy instead of growing the queue (and memory).
+            self._write_queue = asyncio.Queue(maxsize=max(1, self.max_queue))
             self._writer_task = asyncio.ensure_future(self._writer_loop())
             self._server = await asyncio.start_server(
                 self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
@@ -183,6 +280,7 @@ class SimilarityServer:
             raise
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.time()
+        self._started_monotonic = time.monotonic()
 
     async def _release_partial_start(self) -> None:
         if self._writer_task is not None:
@@ -203,7 +301,13 @@ class SimilarityServer:
             self._index = None
 
     async def stop(self) -> None:
-        """Drain in-flight work, write a final snapshot, release everything."""
+        """Drain in-flight work, write a final snapshot, release everything.
+
+        Idempotent: a second ``stop()`` — or one on a server that never
+        started — is a no-op.  Every resource reference is cleared once
+        released, so a repeated call can never snapshot on a closed store
+        or close a closed index.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -214,10 +318,12 @@ class SimilarityServer:
             await asyncio.gather(*tuple(self._connection_tasks), return_exceptions=True)
         if self._coalescer is not None:
             await self._coalescer.drain()
+            self._coalescer = None
         if self._writer_task is not None:
             await self._write_queue.put(None)
             await self._writer_task
             self._writer_task = None
+            self._write_queue = None
         if self._store is not None:
             # Final snapshot only when it adds something (inserts since the
             # last one, or no snapshot yet) and never after a WAL failure:
@@ -238,11 +344,13 @@ class SimilarityServer:
                     self.counters["snapshots"] += 1
                     self._inserts_since_snapshot = 0
             self._store.close()
+            self._store = None
         if self._engine is not None:
             self._engine.shutdown(wait=True)
             self._engine = None
         if self._index is not None:
             self._index.close()
+            self._index = None
 
     async def serve_until(self, stop_event: asyncio.Event) -> None:
         """Convenience loop: :meth:`start`, wait for the event, :meth:`stop`."""
@@ -283,6 +391,12 @@ class SimilarityServer:
             if item is None:
                 return
             normalized, future = item
+            if future.done():
+                # The submitter is gone (deadline or disconnected client
+                # cancelled its future) and was never acknowledged — skip
+                # the work entirely instead of inserting for no one.
+                self.counters["cancelled_inserts"] += 1
+                continue
             try:
                 if self._wal_failed:
                     raise RuntimeError(
@@ -332,6 +446,8 @@ class SimilarityServer:
         if task is not None:
             self._connection_tasks.add(task)
         self._connection_writers.add(writer)
+        if self._write_buffer_high is not None:
+            writer.transport.set_write_buffer_limits(high=self._write_buffer_high)
         write_lock = asyncio.Lock()
         request_tasks: set = set()
         try:
@@ -344,13 +460,42 @@ class SimilarityServer:
                     break
                 if not line:
                     break
+                self.counters["requests"] += 1
+                if len(request_tasks) >= self.max_conn_inflight:
+                    # Per-connection cap: this client already has a full
+                    # pipeline outstanding — shed before spawning a task.
+                    self.counters["shed_connection"] += 1
+                    response = busy_response(
+                        _peek_request_id(line),
+                        f"connection at capacity: {len(request_tasks)} requests in "
+                        f"flight on this connection (max_conn_inflight="
+                        f"{self.max_conn_inflight}); retry with backoff",
+                    )
+                    if not await self._write_response(writer, write_lock, response):
+                        break
+                    continue
                 request_task = asyncio.ensure_future(
                     self._handle_request(line, writer, write_lock)
                 )
                 request_tasks.add(request_task)
                 request_task.add_done_callback(request_tasks.discard)
+                # Slow-client backpressure: when this connection's send
+                # buffer is above its high-water mark the client is not
+                # reading its responses — pause reading its requests until
+                # it drains, instead of buffering unbounded work for it.
+                async with write_lock:
+                    try:
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        break
         finally:
             if request_tasks:
+                # The client is gone (EOF, desync, or server shutdown):
+                # nobody can receive these responses, so stop working on
+                # them.  Cancelled coalescer futures are dropped at flush
+                # and cancelled inserts are skipped by the writer loop.
+                for request_task in tuple(request_tasks):
+                    request_task.cancel()
                 await asyncio.gather(*tuple(request_tasks), return_exceptions=True)
             self._connection_writers.discard(writer)
             if task is not None:
@@ -360,6 +505,18 @@ class SimilarityServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, write_lock: asyncio.Lock, response: Dict[str, Any]
+    ) -> bool:
+        """Serialize one response onto the connection; ``False`` if it died."""
+        async with write_lock:
+            writer.write(encode_message(response))
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return False
+        return True
 
     async def _handle_request(
         self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
@@ -371,25 +528,58 @@ class SimilarityServer:
             if isinstance(raw_id, (int, str)):
                 request_id = raw_id
             request = parse_request(message)
-            result = await self._dispatch(request)
+            if request["op"] in GATED_OPERATIONS:
+                result = await self._dispatch_gated(request)
+            else:
+                result = await self._dispatch(request)
             response = ok_response(request["id"], result)
+        except ServerOverloadedError as error:
+            # Shed at admission: no index work happened, safe to retry.
+            response = busy_response(request_id, str(error))
+        except _DeadlineExceeded as error:
+            self.counters["deadline_drops"] += 1
+            response = error_response(request_id, str(error))
         except ProtocolError as error:
             self.counters["protocol_errors"] += 1
             response = error_response(request_id, str(error))
         except ValueError as error:  # domain errors (bad record, bad state)
             response = error_response(request_id, str(error))
+        except asyncio.CancelledError:
+            raise  # connection teardown; no one is listening for a response
         except Exception as error:  # keep the connection alive on server bugs
             response = error_response(request_id, f"internal error: {error!r}")
-        async with write_lock:
-            writer.write(encode_message(response))
-            try:
-                await writer.drain()
-            except (ConnectionError, OSError):
-                pass
+        await self._write_response(writer, write_lock, response)
+
+    async def _dispatch_gated(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one work request under admission control and its deadline.
+
+        The deadline covers the whole server-side life of the request —
+        waiting for an admission slot *and* executing — because a client
+        that stopped waiting does not care which stage its answer is stuck
+        in.  Cancellation raised by the deadline releases the admission
+        slot (or removes the queued waiter) on the way out.
+        """
+        if self.request_deadline_ms <= 0:
+            return await self._admit_and_dispatch(request)
+        try:
+            return await asyncio.wait_for(
+                self._admit_and_dispatch(request), self.request_deadline_ms / 1000.0
+            )
+        except asyncio.TimeoutError:
+            raise _DeadlineExceeded(
+                f"request dropped: not answered within the "
+                f"{self.request_deadline_ms:g} ms deadline"
+            ) from None
+
+    async def _admit_and_dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        await self._admission.acquire()
+        try:
+            return await self._dispatch(request)
+        finally:
+            self._admission.release()
 
     async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
         assert self._index is not None and self._coalescer is not None
-        self.counters["requests"] += 1
         operation = request["op"]
         if operation == "query":
             record = _normalize_record(request["record"], "query with")
@@ -406,7 +596,14 @@ class SimilarityServer:
         if operation == "insert":
             normalized = _normalize_record(request["record"], "insert")
             future: asyncio.Future = asyncio.get_running_loop().create_future()
-            await self._write_queue.put((normalized, future))
+            try:
+                self._write_queue.put_nowait((normalized, future))
+            except asyncio.QueueFull:
+                self.counters["shed_writer"] += 1
+                raise ServerOverloadedError(
+                    f"insert writer queue full ({self._write_queue.maxsize} inserts "
+                    f"pending); retry with backoff"
+                ) from None
             record_id = await future
             return {"record_id": int(record_id)}
         if operation == "stats":
@@ -431,14 +628,30 @@ class SimilarityServer:
             }
 
         payload = await self._run_on_engine(_collect)
+        gate = self._admission
         payload["server"] = {
-            "uptime_seconds": time.time() - self._started_at,
+            # Monotonic for the duration (an NTP step must not jump uptime);
+            # the wall-clock start stays for humans correlating with logs.
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
+            "started_at_unix": self._started_at,
             "wal_replayed": self._wal_replayed,
             "inserts_since_snapshot": self._inserts_since_snapshot,
             "persistence": self._store is not None,
             "max_batch": self.max_batch,
             "max_linger_ms": self.max_linger_ms,
             "coalescer": dict(self._coalescer.counters),
+            "inflight": gate.inflight,
+            "queue_depth": gate.queue_depth,
+            "insert_queue_depth": self._write_queue.qsize(),
+            "shed_total": self.shed_total,
+            "shed_admission": gate.counters["shed_total"],
+            "admitted_total": gate.counters["admitted_total"],
+            "inflight_peak": gate.counters["inflight_peak"],
+            "queue_peak": gate.counters["queue_peak"],
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "max_conn_inflight": self.max_conn_inflight,
+            "request_deadline_ms": self.request_deadline_ms,
             **dict(self.counters),
         }
         return payload

@@ -196,7 +196,8 @@ class TestServeBench:
             settings=((1, 0.0), (16, 0.0), (16, 2.0)),
             out_json=str(out_json),
         )
-        assert len(rows) == 3
+        # One row per coalescing setting plus the overload-phase row.
+        assert len(rows) == 4
         for row in rows:
             # run() itself asserts the full transcript parity before
             # reporting a row; the rows must carry the latency percentiles.
@@ -205,13 +206,23 @@ class TestServeBench:
             assert 0.0 <= row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
             assert row["mean_batch"] >= 1.0
         baseline = rows[0]
+        assert baseline["phase"] == "coalesce"
         assert baseline["max_batch"] == 1 and baseline["mean_batch"] == 1.0
+        overload = rows[-1]
+        # run() raises unless the flood shed with busy, the queue respected
+        # its bound, and every admitted answer matched offline — so the row
+        # existing already proves the policy; spot-check the recorded shape.
+        assert overload["phase"] == "overload"
+        assert overload["shed"] > 0 and overload["stats_shed_total"] > 0
+        assert overload["queue_peak"] <= overload["max_queue"]
+        assert overload["offered_requests"] >= 2 * overload["queries"]
+        assert overload["uncontended_p99_ms"] > 0.0
         import json
 
         payload = json.loads(out_json.read_text())
         assert payload["experiment"] == "serve"
         assert payload["environment"]["cpu_count"] is not None
-        assert len(payload["rows"]) == 3
+        assert len(payload["rows"]) == 4
 
 
 class TestAblations:

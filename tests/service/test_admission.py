@@ -1,0 +1,149 @@
+"""Unit tests for the bounded admission gate (the overload policy's core)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.admission import AdmissionGate, ServerOverloadedError
+
+
+class TestValidation:
+    def test_max_inflight_positive(self) -> None:
+        with pytest.raises(ValueError):
+            AdmissionGate(0, 1)
+
+    def test_max_queue_non_negative(self) -> None:
+        with pytest.raises(ValueError):
+            AdmissionGate(1, -1)
+
+
+class TestSlots:
+    def test_acquire_within_capacity_is_immediate(self) -> None:
+        async def scenario():
+            gate = AdmissionGate(2, 0)
+            await gate.acquire()
+            await gate.acquire()
+            return gate
+
+        gate = asyncio.run(scenario())
+        assert gate.inflight == 2
+        assert gate.queue_depth == 0
+        assert gate.counters["admitted_total"] == 2
+        assert gate.counters["inflight_peak"] == 2
+
+    def test_full_slots_and_full_queue_shed_immediately(self) -> None:
+        async def scenario():
+            gate = AdmissionGate(1, 0)
+            await gate.acquire()
+            with pytest.raises(ServerOverloadedError, match="at capacity"):
+                await gate.acquire()
+            return gate
+
+        gate = asyncio.run(scenario())
+        assert gate.counters["shed_total"] == 1
+        assert gate.inflight == 1  # the shed never took a slot
+
+    def test_release_hands_slot_to_oldest_waiter_fifo(self) -> None:
+        async def scenario():
+            gate = AdmissionGate(1, 2)
+            await gate.acquire()
+            order = []
+
+            async def waiter(tag):
+                await gate.acquire()
+                order.append(tag)
+                gate.release()
+
+            first = asyncio.ensure_future(waiter("first"))
+            await asyncio.sleep(0)
+            second = asyncio.ensure_future(waiter("second"))
+            await asyncio.sleep(0)
+            assert gate.queue_depth == 2
+            gate.release()
+            await asyncio.gather(first, second)
+            return gate, order
+
+        gate, order = asyncio.run(scenario())
+        assert order == ["first", "second"]
+        assert gate.inflight == 0
+        assert gate.counters["queue_peak"] == 2
+        assert gate.counters["shed_total"] == 0
+
+    def test_queue_bound_is_respected(self) -> None:
+        async def scenario():
+            gate = AdmissionGate(1, 1)
+            await gate.acquire()
+            queued = asyncio.ensure_future(gate.acquire())
+            await asyncio.sleep(0)
+            with pytest.raises(ServerOverloadedError):
+                await gate.acquire()  # slot busy, queue full
+            gate.release()  # frees our slot, which admits the queued waiter
+            await queued
+            gate.release()  # the waiter's slot
+            return gate
+
+        gate = asyncio.run(scenario())
+        assert gate.inflight == 0
+        assert gate.counters["admitted_total"] == 2
+
+
+class TestCancelledWaiters:
+    def test_cancelled_waiter_is_skipped_at_release(self) -> None:
+        async def scenario():
+            gate = AdmissionGate(1, 2)
+            await gate.acquire()
+            doomed = asyncio.ensure_future(gate.acquire())
+            survivor = asyncio.ensure_future(gate.acquire())
+            await asyncio.sleep(0)
+            doomed.cancel()
+            await asyncio.sleep(0)
+            gate.release()  # must skip the cancelled waiter, admit the survivor
+            await survivor
+            return gate, doomed
+
+        gate, doomed = asyncio.run(scenario())
+        assert doomed.cancelled()
+        assert gate.inflight == 1
+        assert gate.queue_depth == 0
+
+    def test_cancelled_waiter_frees_its_queue_position(self) -> None:
+        async def scenario():
+            gate = AdmissionGate(1, 1)
+            await gate.acquire()
+            doomed = asyncio.ensure_future(gate.acquire())
+            await asyncio.sleep(0)
+            doomed.cancel()
+            await asyncio.sleep(0)
+            assert gate.queue_depth == 0  # the cancelled waiter left the queue
+            queued = asyncio.ensure_future(gate.acquire())  # fits again
+            await asyncio.sleep(0)
+            assert gate.queue_depth == 1
+            gate.release()
+            await queued
+            gate.release()
+            return gate
+
+        gate = asyncio.run(scenario())
+        assert gate.counters["shed_total"] == 0
+
+    def test_slot_granted_in_cancellation_race_is_passed_on(self) -> None:
+        # release() grants the slot to a waiter in the same tick a deadline
+        # cancels it: the grant must be handed to the next waiter, not leak.
+        async def scenario():
+            gate = AdmissionGate(1, 2)
+            await gate.acquire()
+            racer = asyncio.ensure_future(gate.acquire())
+            follower = asyncio.ensure_future(gate.acquire())
+            await asyncio.sleep(0)
+            gate.release()  # grants the racer's future...
+            racer.cancel()  # ...but the racer is cancelled before resuming
+            await asyncio.gather(racer, return_exceptions=True)
+            await follower  # the slot must have been passed on
+            return gate, racer
+
+        gate, racer = asyncio.run(scenario())
+        assert racer.cancelled()
+        assert gate.inflight == 1
+        assert gate.queue_depth == 0

@@ -1,0 +1,199 @@
+"""Client-side failure handling: read desync, busy typing, bounded retry.
+
+These tests run the client against small hand-rolled socket servers (not a
+real :class:`SimilarityServer`) so the failure timing is deterministic —
+a stalled half-written response, a scripted busy-then-ok sequence.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Callable, List
+
+import pytest
+
+from repro.service import ServerBusyError, ServiceClient, ServiceError, retry_busy
+
+
+class _ScriptedServer:
+    """One-connection TCP server answering each request line via a script.
+
+    ``script`` maps the 0-based request index to raw bytes to send back
+    (no newline appended — the script controls framing, which is the point
+    for the desync tests).
+    """
+
+    def __init__(self, script: Callable[[int, bytes], bytes]) -> None:
+        self._script = script
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(1)
+        self.address = self._listener.getsockname()
+        self.requests: List[bytes] = []
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        try:
+            conn, _ = self._listener.accept()
+        except OSError:
+            return
+        try:
+            reader = conn.makefile("rb")
+            while True:
+                line = reader.readline()
+                if not line:
+                    return
+                self.requests.append(line)
+                reply = self._script(len(self.requests) - 1, line)
+                if reply:
+                    conn.sendall(reply)
+        except OSError:
+            pass
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+
+def _connect(server: _ScriptedServer, timeout: float = 0.3) -> ServiceClient:
+    return ServiceClient(socket.create_connection(server.address, timeout=timeout))
+
+
+class TestReadTimeoutDesync:
+    def test_timeout_mid_line_closes_the_connection(self) -> None:
+        # The server writes *half* a response line and stalls: the client's
+        # buffered reader times out with a partial line buffered.  The old
+        # client would happily resume on the next call and parse garbage /
+        # a mismatched id; now the timeout is fatal for the connection.
+        def script(index: int, line: bytes) -> bytes:
+            return b'{"id": 0, "ok": true, "resu'  # never terminated
+
+        server = _ScriptedServer(script)
+        try:
+            client = _connect(server)
+            with pytest.raises(ConnectionError, match="closed"):
+                client.health()
+            # The client refuses to reuse the desynced stream — immediately,
+            # without touching the socket again.
+            with pytest.raises(ConnectionError, match="closed"):
+                client.health()
+        finally:
+            server.close()
+
+    def test_closed_client_refuses_further_calls(self) -> None:
+        server = _ScriptedServer(lambda index, line: b"")
+        try:
+            client = _connect(server)
+            client.close()
+            with pytest.raises(ConnectionError):
+                client.stats()
+        finally:
+            server.close()
+
+    def test_server_eof_also_closes_the_client(self) -> None:
+        # An empty read (server gone) must poison the client the same way:
+        # its internal state (request ids) no longer matches any stream.
+        class _Closing(_ScriptedServer):
+            def _serve(self) -> None:
+                conn, _ = self._listener.accept()
+                conn.recv(4096)
+                conn.close()
+
+        server = _Closing(lambda index, line: b"")
+        try:
+            client = _connect(server, timeout=5.0)
+            with pytest.raises(ConnectionError):
+                client.health()
+            with pytest.raises(ConnectionError, match="closed"):
+                client.health()
+        finally:
+            server.close()
+
+
+class TestBusyTyping:
+    def test_busy_flag_raises_typed_error(self) -> None:
+        def script(index: int, line: bytes) -> bytes:
+            request_id = json.loads(line)["id"]
+            return (
+                json.dumps(
+                    {"id": request_id, "ok": False, "error": "server at capacity", "busy": True}
+                )
+                + "\n"
+            ).encode()
+
+        server = _ScriptedServer(script)
+        try:
+            with _connect(server, timeout=5.0) as client:
+                with pytest.raises(ServerBusyError, match="capacity"):
+                    client.health()
+        finally:
+            server.close()
+
+    def test_plain_error_is_not_busy(self) -> None:
+        def script(index: int, line: bytes) -> bytes:
+            request_id = json.loads(line)["id"]
+            return (
+                json.dumps({"id": request_id, "ok": False, "error": "bad record"}) + "\n"
+            ).encode()
+
+        server = _ScriptedServer(script)
+        try:
+            with _connect(server, timeout=5.0) as client:
+                with pytest.raises(ServiceError) as caught:
+                    client.health()
+                assert not isinstance(caught.value, ServerBusyError)
+        finally:
+            server.close()
+
+
+class TestRetryBusy:
+    def _scripted(self, busy_times: int) -> _ScriptedServer:
+        def script(index: int, line: bytes) -> bytes:
+            request_id = json.loads(line)["id"]
+            if index < busy_times:
+                payload = {"id": request_id, "ok": False, "error": "busy", "busy": True}
+            else:
+                payload = {"id": request_id, "ok": True, "result": {"status": "ok", "records": 0}}
+            return (json.dumps(payload) + "\n").encode()
+
+        return _ScriptedServer(script)
+
+    def test_retries_until_admitted(self) -> None:
+        server = self._scripted(busy_times=2)
+        try:
+            with _connect(server, timeout=5.0) as client:
+                result = retry_busy(client.health, attempts=4, base_delay=0.001)
+                assert result["status"] == "ok"
+                assert len(server.requests) == 3  # 2 busy + 1 admitted
+        finally:
+            server.close()
+
+    def test_bounded_attempts_then_raises(self) -> None:
+        server = self._scripted(busy_times=100)
+        try:
+            with _connect(server, timeout=5.0) as client:
+                with pytest.raises(ServerBusyError):
+                    retry_busy(client.health, attempts=3, base_delay=0.001)
+                assert len(server.requests) == 3  # bounded, not infinite
+        finally:
+            server.close()
+
+    def test_non_busy_errors_propagate_immediately(self) -> None:
+        calls = {"count": 0}
+
+        def operation():
+            calls["count"] += 1
+            raise ServiceError("hard failure")
+
+        with pytest.raises(ServiceError, match="hard failure"):
+            retry_busy(operation, attempts=5, base_delay=0.001)
+        assert calls["count"] == 1
+
+    def test_attempts_validated(self) -> None:
+        with pytest.raises(ValueError):
+            retry_busy(lambda: None, attempts=0)

@@ -121,6 +121,68 @@ class TestCoalescing:
         assert counters["size_flushes"] == 0
 
 
+class TestCancelledSubmitters:
+    def test_cancelled_futures_dropped_at_flush(self) -> None:
+        # A submitter cancelled while its query is pending (deadline, shed,
+        # vanished client) must not have its record executed in the batch.
+        async def scenario():
+            runner = _RecordingRunner()
+            coalescer = QueryCoalescer(runner, max_batch=64, max_linger_ms=60_000.0)
+            tasks = [asyncio.ensure_future(coalescer.submit((index,))) for index in range(3)]
+            await asyncio.sleep(0)  # let every submit enqueue itself
+            tasks[0].cancel()
+            tasks[2].cancel()
+            await asyncio.sleep(0)  # let the cancellations reach the futures
+            await coalescer.drain()
+            settled = await asyncio.gather(*tasks, return_exceptions=True)
+            return runner, coalescer, settled
+
+        runner, coalescer, settled = asyncio.run(scenario())
+        assert runner.batches == [[(1,)]]  # only the live query was executed
+        assert coalescer.counters["cancelled_dropped"] == 2
+        assert isinstance(settled[0], asyncio.CancelledError)
+        assert settled[1] == ("result", (1,))
+        assert isinstance(settled[2], asyncio.CancelledError)
+
+    def test_all_cancelled_skips_the_batch_entirely(self) -> None:
+        async def scenario():
+            runner = _RecordingRunner()
+            coalescer = QueryCoalescer(runner, max_batch=64, max_linger_ms=60_000.0)
+            tasks = [asyncio.ensure_future(coalescer.submit((index,))) for index in range(2)]
+            await asyncio.sleep(0)
+            for task in tasks:
+                task.cancel()
+            await asyncio.sleep(0)
+            await coalescer.drain()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            return runner, coalescer
+
+        runner, coalescer = asyncio.run(scenario())
+        assert runner.batches == []  # the runner never fired
+        assert coalescer.counters["batches"] == 0
+        assert coalescer.counters["cancelled_dropped"] == 2
+
+    def test_size_flush_also_drops_cancelled(self) -> None:
+        # The drop happens at every flush path, not just drain.
+        async def scenario():
+            runner = _RecordingRunner()
+            coalescer = QueryCoalescer(runner, max_batch=3, max_linger_ms=60_000.0)
+            tasks = [asyncio.ensure_future(coalescer.submit((index,))) for index in range(2)]
+            await asyncio.sleep(0)
+            tasks[0].cancel()
+            await asyncio.sleep(0)
+            final = asyncio.ensure_future(coalescer.submit((2,)))  # triggers the size flush
+            await asyncio.sleep(0)
+            results = await asyncio.gather(*tasks, final, return_exceptions=True)
+            return runner, coalescer, results
+
+        runner, coalescer, results = asyncio.run(scenario())
+        assert runner.batches == [[(1,), (2,)]]
+        assert coalescer.counters["cancelled_dropped"] == 1
+        assert results[1] == ("result", (1,))
+        assert results[2] == ("result", (2,))
+
+
 class TestFailurePropagation:
     def test_runner_exception_reaches_every_future(self) -> None:
         async def scenario():

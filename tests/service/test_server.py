@@ -9,13 +9,24 @@ assertion throughout: server answers are bit-identical to offline
 
 from __future__ import annotations
 
+import asyncio
+import json
 import shutil
+import socket
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
 from repro.index import SimilarityIndex
-from repro.service import ServiceClient, ServiceError, SimilarityServer, serve_in_thread
+from repro.service import (
+    ServerBusyError,
+    ServiceClient,
+    ServiceError,
+    SimilarityServer,
+    serve_in_thread,
+)
 
 BASE_RECORDS = [
     (1, 2, 3, 4),
@@ -227,6 +238,267 @@ class TestWalFailureFailStop:
             handle.stop()
 
 
+class _SlowIndex:
+    """A real index whose ``query_batch`` holds the engine thread.
+
+    Overload needs the server to be *busy* deterministically; sleeping on
+    the engine thread (exactly where a big batch would spend its time)
+    pins capacity without inventing load.  Everything else delegates to
+    the wrapped :class:`SimilarityIndex`, so answers keep offline parity.
+    """
+
+    def __init__(self, inner: SimilarityIndex, delay: float) -> None:
+        self._inner = inner
+        self._delay = delay
+
+    def query_batch(self, records):
+        time.sleep(self._delay)
+        return self._inner.query_batch(records)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestOverloadPolicy:
+    def test_flood_beyond_capacity_sheds_busy_admitted_answers_exact(self) -> None:
+        # Capacity 1 in flight + 1 queued, every batch pinned for 150 ms:
+        # six simultaneous queries must shed at least one 'busy', every
+        # admitted answer must equal offline query_batch, and the stats
+        # endpoint must expose the shed.
+        offline = make_index()
+        expected = offline.query_batch(BASE_RECORDS)
+        server = SimilarityServer(
+            index_factory=lambda: _SlowIndex(make_index(), 0.15),
+            max_inflight=1,
+            max_queue=1,
+            max_linger_ms=0.0,
+        )
+        handle = serve_in_thread(server)
+        try:
+            barrier = threading.Barrier(6)
+
+            def one_client(position):
+                record = BASE_RECORDS[position % len(BASE_RECORDS)]
+                with ServiceClient.connect(*handle.address) as client:
+                    barrier.wait()
+                    try:
+                        return ("ok", client.query(record), position % len(BASE_RECORDS))
+                    except ServerBusyError:
+                        return ("busy", None, None)
+
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                outcomes = list(pool.map(one_client, range(6)))
+            shed = [outcome for outcome in outcomes if outcome[0] == "busy"]
+            admitted = [outcome for outcome in outcomes if outcome[0] == "ok"]
+            assert shed, "a 6-way flood against capacity 2 must shed"
+            assert admitted, "admission control must still admit work"
+            for _, matches, position in admitted:
+                assert matches == expected[position]
+
+            with ServiceClient.connect(*handle.address) as probe:
+                # Health answers while/after the flood — shedding, not wedging.
+                assert probe.health()["status"] == "ok"
+                stats = probe.stats()["server"]
+            assert stats["shed_total"] >= len(shed)
+            assert stats["queue_peak"] <= 1  # the configured bound held
+            assert stats["inflight_peak"] <= 1
+        finally:
+            handle.stop()
+
+    def test_per_connection_pipeline_cap_sheds_excess(self) -> None:
+        # One connection pipelines 5 queries while each batch takes 200 ms:
+        # with max_conn_inflight=2 the first two are admitted and answered,
+        # the rest are shed with busy (matched by id).
+        offline = make_index()
+        server = SimilarityServer(
+            index_factory=lambda: _SlowIndex(make_index(), 0.2),
+            max_conn_inflight=2,
+            max_linger_ms=0.0,
+        )
+        handle = serve_in_thread(server)
+        try:
+            sock = socket.create_connection(handle.address, timeout=30.0)
+            try:
+                reader = sock.makefile("rb")
+                record = list(BASE_RECORDS[0])
+                payload = b"".join(
+                    (json.dumps({"id": position, "op": "query", "record": record}) + "\n").encode()
+                    for position in range(5)
+                )
+                sock.sendall(payload)
+                responses = [json.loads(reader.readline()) for _ in range(5)]
+            finally:
+                sock.close()
+            by_id = {response["id"]: response for response in responses}
+            assert len(by_id) == 5
+            busy = [response for response in responses if response.get("busy")]
+            ok = [response for response in responses if response["ok"]]
+            assert len(ok) == 2 and len(busy) == 3
+            expected = offline.query_batch([BASE_RECORDS[0]])[0]
+            for response in ok:
+                matches = [(int(i), float(s)) for i, s in response["result"]["matches"]]
+                assert matches == expected
+            with ServiceClient.connect(*handle.address) as probe:
+                assert probe.stats()["server"]["shed_connection"] == 3
+        finally:
+            handle.stop()
+
+    def test_request_deadline_drops_stuck_requests(self) -> None:
+        # Every batch takes 300 ms but the deadline is 50 ms: the request is
+        # dropped with a deadline error (not busy — no point retrying the
+        # same deadline), counted, and the connection survives.
+        server = SimilarityServer(
+            index_factory=lambda: _SlowIndex(make_index(), 0.3),
+            request_deadline_ms=50.0,
+            max_linger_ms=0.0,
+        )
+        handle = serve_in_thread(server)
+        try:
+            with ServiceClient.connect(*handle.address) as client:
+                with pytest.raises(ServiceError, match="deadline") as caught:
+                    client.query(BASE_RECORDS[0])
+                assert not isinstance(caught.value, ServerBusyError)
+                assert client.health()["status"] == "ok"
+                stats = client.stats()["server"]
+                assert stats["deadline_drops"] == 1
+                assert stats["request_deadline_ms"] == 50.0
+        finally:
+            handle.stop()
+
+    def test_slow_client_backpressure_no_wedge_all_answers_exact(self) -> None:
+        # A client pipelines 50 queries and reads *nothing* against a tiny
+        # 256-byte write buffer: the server must pause reading its requests
+        # (bounding per-connection work) yet keep serving other clients, and
+        # once the slow client finally reads, every response is there and
+        # exact.  max_conn_inflight=8 bounds what the slow client can have
+        # outstanding; backpressure is what keeps the rest unread.
+        offline = make_index()
+        expected = offline.query_batch([BASE_RECORDS[1]])[0]
+        server = SimilarityServer(
+            index_factory=make_index,
+            max_linger_ms=0.0,
+            max_conn_inflight=8,
+            write_buffer_high=256,
+        )
+        handle = serve_in_thread(server)
+        try:
+            slow = socket.create_connection(handle.address, timeout=30.0)
+            try:
+                record = list(BASE_RECORDS[1])
+                payload = b"".join(
+                    (json.dumps({"id": position, "op": "query", "record": record}) + "\n").encode()
+                    for position in range(50)
+                )
+                slow.sendall(payload)
+                time.sleep(0.2)  # let the server fill the 256-byte buffer and pause
+                # A well-behaved client on another connection is unaffected.
+                with ServiceClient.connect(*handle.address) as healthy:
+                    assert healthy.query(BASE_RECORDS[1]) == expected
+                    assert healthy.health()["status"] == "ok"
+                # Now the slow client drains: all 50 answers, all exact or busy.
+                reader = slow.makefile("rb")
+                answered = 0
+                for _ in range(50):
+                    response = json.loads(reader.readline())
+                    if response["ok"]:
+                        matches = [(int(i), float(s)) for i, s in response["result"]["matches"]]
+                        assert matches == expected
+                        answered += 1
+                    else:
+                        assert response.get("busy"), response
+                assert answered > 0
+            finally:
+                slow.close()
+        finally:
+            handle.stop()
+
+    def test_insert_writer_queue_is_bounded(self) -> None:
+        # max_queue bounds the insert writer queue too: with the engine
+        # pinned by a slow query batch, a burst of pipelined inserts beyond
+        # max_queue must shed with busy instead of growing the queue.
+        server = SimilarityServer(
+            index_factory=lambda: _SlowIndex(make_index(), 0.4),
+            max_inflight=16,
+            max_queue=2,
+            max_conn_inflight=16,
+            max_linger_ms=0.0,
+        )
+        handle = serve_in_thread(server)
+        try:
+            sock = socket.create_connection(handle.address, timeout=30.0)
+            try:
+                reader = sock.makefile("rb")
+                # Pin the engine thread with one slow query...
+                query = {"id": "q", "op": "query", "record": list(BASE_RECORDS[0])}
+                sock.sendall((json.dumps(query) + "\n").encode())
+                time.sleep(0.05)
+                # ...then burst 8 inserts: the writer queue holds 2, the rest shed.
+                payload = b"".join(
+                    (
+                        json.dumps({"id": position, "op": "insert", "record": [900 + position]})
+                        + "\n"
+                    ).encode()
+                    for position in range(8)
+                )
+                sock.sendall(payload)
+                responses = [json.loads(reader.readline()) for _ in range(9)]
+            finally:
+                sock.close()
+            insert_responses = [r for r in responses if r["id"] != "q"]
+            busy = [r for r in insert_responses if r.get("busy")]
+            ok = [r for r in insert_responses if r["ok"]]
+            assert busy, "insert burst beyond the writer queue bound must shed"
+            assert ok, "bounded writer queue must still accept inserts"
+            with ServiceClient.connect(*handle.address) as probe:
+                stats = probe.stats()["server"]
+                assert stats["shed_writer"] >= 1
+                assert stats["insert_queue_depth"] == 0  # drained afterwards
+        finally:
+            handle.stop()
+
+
+class TestStopIdempotence:
+    def test_double_stop_and_stop_without_start(self, tmp_path) -> None:
+        async def scenario():
+            server = SimilarityServer(
+                index_factory=make_index, data_dir=tmp_path / "state", wal_sync=False
+            )
+            await server.start()
+            await server.stop()
+            await server.stop()  # idempotent: no snapshot on a closed store
+            never_started = SimilarityServer(index_factory=make_index)
+            await never_started.stop()  # no-op
+            return server
+
+        server = asyncio.run(scenario())
+        with pytest.raises(RuntimeError, match="not running"):
+            server.index  # the property must not hand out a closed index
+
+    def test_data_dir_reusable_after_double_stop(self, tmp_path) -> None:
+        # The second stop() must not have corrupted the persisted state or
+        # left the directory lock held.
+        async def scenario():
+            server = SimilarityServer(
+                index_factory=make_index, data_dir=tmp_path / "state", wal_sync=False
+            )
+            await server.start()
+            await server.stop()
+            await server.stop()
+
+        asyncio.run(scenario())
+        handle = serve_in_thread(
+            SimilarityServer(index_factory=make_index, data_dir=tmp_path / "state", wal_sync=False)
+        )
+        try:
+            with ServiceClient.connect(*handle.address) as client:
+                assert client.health()["records"] == len(BASE_RECORDS)
+        finally:
+            handle.stop()
+
+
 class TestStatsEndpoint:
     def test_session_delta_counts_this_servers_queries(self, running_server) -> None:
         with ServiceClient.connect(*running_server.address) as client:
@@ -241,6 +513,14 @@ class TestStatsEndpoint:
         assert server_counters["persistence"] is False
         assert server_counters["coalescer"]["queries"] == 4
         assert server_counters["requests"] >= 5
+        # The overload-policy gauges are visible even when nothing sheds.
+        assert server_counters["shed_total"] == 0
+        assert server_counters["deadline_drops"] == 0
+        assert server_counters["inflight"] >= 0
+        assert server_counters["queue_depth"] == 0
+        assert server_counters["max_inflight"] == 64
+        assert server_counters["uptime_seconds"] >= 0.0
+        assert server_counters["started_at_unix"] > 0.0
 
 
 class TestPersistenceLifecycle:
