@@ -13,6 +13,9 @@ Usage::
     # wait for the port file, query only
     python scripts/serve_smoke_client.py query PORT_FILE QUERIES OUT_CSV
 
+    # top-k lookups (same CSV shape as `repro-join index query-topk`)
+    python scripts/serve_smoke_client.py query-topk PORT_FILE QUERIES OUT_CSV --k 3 [--floor F]
+
     # flood the server beyond its admission capacity and assert the
     # overload policy: some requests shed with `busy`, `health` keeps
     # answering mid-flood, every flood request gets a response.
@@ -106,14 +109,21 @@ def run_flood(host: str, port: int, queries) -> None:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("mode", choices=["query", "insert-and-query", "flood"])
+    parser.add_argument("mode", choices=["query", "query-topk", "insert-and-query", "flood"])
     parser.add_argument("port_file", type=Path)
     parser.add_argument("files", nargs="+", type=Path, help="[inserts] queries [out_csv]")
+    parser.add_argument("--k", type=int, default=None, help="matches per query (query-topk mode)")
+    parser.add_argument(
+        "--floor", type=float, default=None,
+        help="similarity floor cutting each top-k result (query-topk mode)",
+    )
     args = parser.parse_args()
 
-    expected = {"query": 2, "insert-and-query": 3, "flood": 1}[args.mode]
+    expected = {"query": 2, "query-topk": 2, "insert-and-query": 3, "flood": 1}[args.mode]
     if len(args.files) != expected:
         parser.error(f"mode {args.mode!r} takes {expected} file arguments")
+    if args.mode == "query-topk" and (args.k is None or args.k < 1):
+        parser.error("mode 'query-topk' requires a positive --k")
 
     host, port = wait_for_port_file(args.port_file)
 
@@ -129,7 +139,13 @@ def main() -> int:
                 client.insert(record)
         rows = []
         queries = read_dataset(queries_path).records
-        for query_id, matches in enumerate(client.query_batch(queries)):
+        if args.mode == "query-topk":
+            per_query = [
+                client.query_topk(record, args.k, floor=args.floor) for record in queries
+            ]
+        else:
+            per_query = client.query_batch(queries)
+        for query_id, matches in enumerate(per_query):
             for record_id, similarity in matches:
                 rows.append(
                     {"query": query_id, "match": record_id, "similarity": f"{similarity:.6f}"}

@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.preprocess import PreprocessedCollection, preprocess_collection
 from repro.engine import CandidateStage, JoinEngine, SubsetCandidates, Task
 from repro.result import JoinResult, JoinStats, Timer
+from repro.similarity.measures import get_measure
 from repro.store import StoreHandle
 
 __all__ = ["MinHashLSHJoin", "MinHashBucketStage", "minhash_lsh_join"]
@@ -117,6 +118,11 @@ class MinHashLSHJoin:
         ``"serial"`` / ``"threads"`` / ``"processes"`` — how round shards are
         dispatched when ``workers > 1`` (see
         :mod:`repro.core.repetition`).
+    measure:
+        Similarity measure verification scores under (name, instance or
+        ``None`` for Jaccard).  Bucketing collision probabilities are driven
+        by the measure's Jaccard floor of the threshold; measures with no
+        positive floor (overlap coefficient, containment) are rejected.
     """
 
     CANDIDATE_K_RANGE = range(2, 11)
@@ -135,6 +141,7 @@ class MinHashLSHJoin:
         backend: Optional[str] = None,
         workers: int = 1,
         executor: Optional[str] = None,
+        measure=None,
     ) -> None:
         from repro.core.repetition import EXECUTOR_NAMES
 
@@ -148,6 +155,17 @@ class MinHashLSHJoin:
         if executor not in EXECUTOR_NAMES:
             raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTOR_NAMES}")
         self.threshold = threshold
+        self.measure = get_measure(measure)
+        # MinHash collisions estimate (embedded) Jaccard, so the cost model
+        # and the recall guarantee run at the measure's Jaccard floor of λ
+        # (identical to λ for the default measure).
+        self.embedded_threshold = self.measure.jaccard_floor(threshold)
+        if self.embedded_threshold <= 0.0:
+            raise ValueError(
+                f"measure {self.measure.name!r} has no positive Jaccard floor at "
+                f"threshold {threshold}; MinHash LSH cannot bound its collision "
+                "probability — use an exact algorithm (allpairs / ppjoin)"
+            )
         self.num_hash_functions = num_hash_functions
         self.repetitions = repetitions
         self.target_recall = target_recall
@@ -299,12 +317,13 @@ class MinHashLSHJoin:
             backend=self.backend,
             use_sketches=self.use_sketches,
             sketch_false_negative_rate=self.sketch_false_negative_rate,
+            measure=self.measure,
         )
 
     # ------------------------------------------------------------------ internals
     def repetitions_for_recall(self, k: int) -> int:
         """Number of runs ``L = ⌈ln(1/(1-ϕ)) / λ^k⌉`` for the worst-case guarantee."""
-        collision_probability = self.threshold**k
+        collision_probability = self.embedded_threshold**k
         return max(1, math.ceil(math.log(1.0 / (1.0 - self.target_recall)) / collision_probability))
 
     def select_k(self, collection: PreprocessedCollection, rng: np.random.Generator) -> int:
@@ -323,7 +342,7 @@ class MinHashLSHJoin:
             buckets = self._bucketize(collection, coordinates)
             pair_cost = sum(len(bucket) * (len(bucket) - 1) / 2 for bucket in buckets)
             lookup_cost = collection.num_records * k
-            runs_needed = 1.0 / (self.threshold**k)
+            runs_needed = 1.0 / (self.embedded_threshold**k)
             cost = (lookup_cost + pair_cost) * runs_needed
             if cost < best_cost:
                 best_cost = cost

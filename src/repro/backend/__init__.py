@@ -18,12 +18,13 @@ in throughput.  See ``tests/backend`` for the equivalence suite.
 
 from __future__ import annotations
 
-from typing import Dict, Type, Union
+from typing import Dict, Optional, Type, Union
 
 from repro.backend.base import ExecutionBackend
 from repro.backend.numpy_backend import NumpyBackend
 from repro.backend.python_backend import PythonBackend
 from repro.core.preprocess import PreprocessedCollection
+from repro.similarity.measures import Measure
 
 __all__ = [
     "BACKEND_NAMES",
@@ -50,6 +51,7 @@ def make_backend(
     backend: Union[str, ExecutionBackend, None],
     collection: PreprocessedCollection,
     threshold: float,
+    measure: Optional[Union[str, Measure]] = None,
 ) -> ExecutionBackend:
     """Resolve a backend name (or pass through an instance) for a collection.
 
@@ -60,11 +62,16 @@ def make_backend(
         constructed :class:`ExecutionBackend` (returned as-is), or ``None``
         for :data:`DEFAULT_BACKEND`.
     collection, threshold:
-        The preprocessed collection and Jaccard threshold the kernels bind to.
+        The preprocessed collection and similarity threshold the kernels
+        bind to.
+    measure:
+        Similarity measure (name, :class:`~repro.similarity.measures.Measure`
+        or ``None`` for Jaccard) the verification kernels score under.
+        Ignored when ``backend`` is an already constructed instance.
     """
     if isinstance(backend, ExecutionBackend):
         return backend
     name = DEFAULT_BACKEND if backend is None else str(backend).lower()
     if name not in _REGISTRY:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}")
-    return _REGISTRY[name](collection, threshold)
+    return _REGISTRY[name](collection, threshold, measure)

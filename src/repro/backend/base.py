@@ -29,10 +29,11 @@ from typing import ClassVar, List, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.backend.kernels import size_compatible_mask, sketch_estimates
+from repro.backend.kernels import sketch_estimates
 from repro.core.preprocess import PreprocessedCollection
 from repro.hashing.sketch import _HAS_BITWISE_COUNT, popcount_rows
 from repro.result import canonical_pair
+from repro.similarity.measures import Measure, get_measure
 
 __all__ = ["ExecutionBackend"]
 
@@ -47,17 +48,41 @@ class ExecutionBackend(ABC):
     collection:
         The preprocessed records (token sets, signatures, sketches).
     threshold:
-        Jaccard threshold ``λ`` used by the exact verification kernels.
+        Similarity threshold ``λ`` used by the exact verification kernels,
+        on the measure's own scale.
+    measure:
+        The :class:`~repro.similarity.measures.Measure` verification runs
+        under (name, instance or ``None`` for the default Jaccard).  With a
+        weighted measure the size probe and the required-overlap bound use
+        summed token weights instead of token counts.
     """
 
     name: ClassVar[str] = "abstract"
 
-    def __init__(self, collection: PreprocessedCollection, threshold: float) -> None:
+    def __init__(
+        self,
+        collection: PreprocessedCollection,
+        threshold: float,
+        measure: "Measure | str | None" = None,
+    ) -> None:
         if not 0.0 < threshold <= 1.0:
             raise ValueError("threshold must be in (0, 1]")
         self.collection = collection
         self.threshold = threshold
+        self.measure = get_measure(measure)
         self.sizes = collection.record_sizes()
+        # Measure-sizes drive every filter and bound: identical to ``sizes``
+        # for unweighted measures, per-record summed token weights otherwise.
+        if self.measure.weighted:
+            values, offsets = collection.packed_tokens()
+            self._value_weights = self.measure.value_weights(values)
+            if self.sizes.size:
+                self.measure_sizes = np.add.reduceat(self._value_weights, offsets[:-1])
+            else:
+                self.measure_sizes = np.zeros(0, dtype=np.float64)
+        else:
+            self._value_weights = None
+            self.measure_sizes = self.sizes
         # Side labels for R ⋈ S joins (None for a self-join).  When present,
         # same-side pairs are dropped before any counting or filtering, so
         # pre_candidates / candidates / verified only ever count cross-side
@@ -78,7 +103,9 @@ class ExecutionBackend(ABC):
         sketch_cutoff: float,
     ) -> np.ndarray:
         """Candidates among ``others``: size probe plus optional sketch filter."""
-        passing = size_compatible_mask(self.sizes[record_id], self.sizes[others], self.threshold)
+        passing = self.measure.size_compatible(
+            self.measure_sizes[record_id], self.measure_sizes[others], self.threshold
+        )
         if use_sketches:
             estimates = self.sketch_estimate_one_to_many(record_id, others)
             passing &= estimates >= sketch_cutoff

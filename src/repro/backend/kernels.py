@@ -22,6 +22,7 @@ from repro.hashing.sketch import popcount_rows
 
 __all__ = [
     "csr_overlaps_one_to_many",
+    "csr_weighted_overlaps_one_to_many",
     "overlap_jaccard",
     "required_overlaps",
     "size_compatible_mask",
@@ -101,6 +102,52 @@ def csr_overlaps_one_to_many(
     matches = positions < query_tokens.size
     matches &= query_tokens[np.minimum(positions, query_tokens.size - 1)] == tokens
     return np.add.reduceat(matches.astype(np.int64), boundaries[:-1])
+
+
+def csr_weighted_overlaps_one_to_many(
+    query_tokens: np.ndarray,
+    values: np.ndarray,
+    value_weights: np.ndarray,
+    offsets: np.ndarray,
+    sizes: np.ndarray,
+    others: np.ndarray,
+) -> np.ndarray:
+    """Weighted intersections of one sorted token array against a CSR block.
+
+    The weighted twin of :func:`csr_overlaps_one_to_many`: instead of
+    *counting* matched tokens it sums their weights (``value_weights`` is
+    aligned element-for-element with ``values``), which is the overlap a
+    weighted :class:`~repro.similarity.measures.Measure` plugs into its
+    required-overlap bound.  Returns float64 sums.
+    """
+    query_tokens = np.asarray(query_tokens, dtype=values.dtype)
+    others = np.asarray(others, dtype=np.intp)
+    if others.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    if query_tokens.size == 0:
+        return np.zeros(others.size, dtype=np.float64)
+    if others.size == 1:
+        other = int(others[0])
+        start = offsets[other]
+        stop = start + sizes[other]
+        tokens = values[start:stop]
+        positions = np.searchsorted(query_tokens, tokens)
+        matches = positions < query_tokens.size
+        matches &= query_tokens[np.minimum(positions, query_tokens.size - 1)] == tokens
+        return np.array([float(value_weights[start:stop][matches].sum())], dtype=np.float64)
+    starts = offsets[others]
+    lengths = sizes[others]
+    boundaries = np.zeros(others.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=boundaries[1:])
+    flat_index = np.arange(boundaries[-1], dtype=np.int64) + np.repeat(
+        starts - boundaries[:-1], lengths
+    )
+    tokens = values[flat_index]
+
+    positions = np.searchsorted(query_tokens, tokens)
+    matches = positions < query_tokens.size
+    matches &= query_tokens[np.minimum(positions, query_tokens.size - 1)] == tokens
+    return np.add.reduceat(np.where(matches, value_weights[flat_index], 0.0), boundaries[:-1])
 
 
 def required_overlaps(

@@ -28,9 +28,10 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.backend.base import ExecutionBackend
-from repro.backend.kernels import csr_overlaps_one_to_many
+from repro.backend.kernels import csr_overlaps_one_to_many, csr_weighted_overlaps_one_to_many
 from repro.core.preprocess import PreprocessedCollection
 from repro.hashing.sketch import _HAS_BITWISE_COUNT, popcount_rows
+from repro.similarity.measures import Measure
 
 __all__ = ["NumpyBackend"]
 
@@ -66,15 +67,16 @@ class NumpyBackend(ExecutionBackend):
     # integer sketch arithmetic beats the fixed cost of numpy dispatches.
     SMALL_ROW_LIMIT = 12
 
-    def __init__(self, collection: PreprocessedCollection, threshold: float) -> None:
-        super().__init__(collection, threshold)
+    def __init__(
+        self,
+        collection: PreprocessedCollection,
+        threshold: float,
+        measure: "Measure | str | None" = None,
+    ) -> None:
+        super().__init__(collection, threshold, measure)
         self._values, self._offsets = collection.packed_tokens()
-        self._size_list = self.sizes.tolist()
+        self._measure_size_list = self.measure_sizes.tolist()
         self._sketch_ints = collection.sketch_bigints()
-        # J(x, y) >= λ  ⇔  |x ∩ y| >= ⌈λ/(1+λ) (|x| + |y|)⌉, evaluated with
-        # the exact floating expression of required_overlap_for_jaccard so the
-        # two backends can never disagree on a borderline pair.
-        self._overlap_ratio = threshold / (1.0 + threshold)
         self._sketch_distance_bounds: dict = {}
 
     # ------------------------------------------------------------------ exact verification
@@ -83,14 +85,24 @@ class NumpyBackend(ExecutionBackend):
         return self._values[start : start + self.sizes[record_id]]
 
     def _overlaps_one_to_many(self, record_id: int, others: np.ndarray) -> np.ndarray:
-        """Exact intersection sizes of one record against a block of records."""
+        """Exact (possibly weighted) overlaps of one record against a block."""
+        if self._value_weights is not None:
+            return csr_weighted_overlaps_one_to_many(
+                self._record_tokens(record_id),
+                self._values,
+                self._value_weights,
+                self._offsets,
+                self.sizes,
+                others,
+            )
         return csr_overlaps_one_to_many(
             self._record_tokens(record_id), self._values, self._offsets, self.sizes, others
         )
 
     def _required_overlaps(self, record_id: int, others: np.ndarray) -> np.ndarray:
-        sums = self.sizes[record_id] + self.sizes[others]
-        return np.ceil(self._overlap_ratio * sums - 1e-9).astype(np.int64)
+        return self.measure.required_overlaps(
+            self.measure_sizes[record_id], self.measure_sizes[others], self.threshold
+        )
 
     def _max_sketch_distance(self, sketch_cutoff: float) -> int:
         """Largest sketch Hamming distance whose estimate passes the cut-off.
@@ -148,10 +160,8 @@ class NumpyBackend(ExecutionBackend):
         if pre_candidates == 0:
             return 0, empty, empty
 
-        sizes = self.sizes[ids]
-        passing = (sizes[second_pos] >= self.threshold * sizes[first_pos]) & (
-            sizes[first_pos] >= self.threshold * sizes[second_pos]
-        )
+        sizes = self.measure_sizes[ids]
+        passing = self.measure.size_compatible(sizes[first_pos], sizes[second_pos], self.threshold)
         first_pos, second_pos = first_pos[passing], second_pos[passing]
 
         if use_sketches and first_pos.size:
@@ -195,10 +205,11 @@ class NumpyBackend(ExecutionBackend):
             pre_candidates = num_right * (num_records - num_right)
         firsts: List[int] = []
         seconds: List[int] = []
-        sizes = self._size_list
+        sizes = self._measure_size_list
         sketch_ints = self._sketch_ints
         num_bits = self.collection.sketches.num_bits
         threshold = self.threshold
+        size_compatible_one = self.measure.size_compatible_one
         for position in range(num_records):
             record_id = subset[position]
             size_first = sizes[record_id]
@@ -207,7 +218,7 @@ class NumpyBackend(ExecutionBackend):
                 if sides is not None and sides[record_id] == sides[other_id]:
                     continue
                 size_second = sizes[other_id]
-                if size_second < threshold * size_first or size_first < threshold * size_second:
+                if not size_compatible_one(size_first, size_second, threshold):
                     continue
                 if use_sketches:
                     distance = (sketch_ints[record_id] ^ sketch_ints[other_id]).bit_count()

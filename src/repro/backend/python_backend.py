@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.backend.base import ExecutionBackend
-from repro.similarity.verify import verify_pair_sorted
+from repro.similarity.verify import verify_pair_sorted, verify_pair_sorted_measure
 
 __all__ = ["PythonBackend"]
 
@@ -31,6 +31,15 @@ class PythonBackend(ExecutionBackend):
         record = self.collection.records[record_id]
         records = self.collection.records
         accepted = np.zeros(others.size, dtype=bool)
-        for position, other_id in enumerate(others):
-            accepted[position] = verify_pair_sorted(record, records[int(other_id)], self.threshold)[0]
+        if self.measure.is_default:
+            # Seed hot path, kept verbatim for the bit-parity guarantee.
+            for position, other_id in enumerate(others):
+                accepted[position] = verify_pair_sorted(
+                    record, records[int(other_id)], self.threshold
+                )[0]
+        else:
+            for position, other_id in enumerate(others):
+                accepted[position] = verify_pair_sorted_measure(
+                    record, records[int(other_id)], self.threshold, self.measure
+                )[0]
         return accepted

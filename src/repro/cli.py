@@ -12,7 +12,10 @@ Python:
   constructs a :class:`repro.index.SimilarityIndex` over a dataset file and
   saves it (versioned format, old bare pickles still load); ``index query``
   loads the file and runs point lookups from a query file (optionally
-  inserting each query afterwards, the streaming deduplication shape).
+  inserting each query afterwards, the streaming deduplication shape);
+  ``index query-topk`` keeps only each query's k best matches.  ``join``,
+  ``index build`` and ``serve`` accept ``--measure`` to join/query under any
+  registered similarity measure (default Jaccard).
 * ``repro-join serve`` — the online version of the above: keep a
   :class:`SimilarityIndex` resident in an asyncio server
   (:mod:`repro.service`) answering ``query``/``insert``/``stats``/``health``
@@ -51,6 +54,7 @@ from repro.datasets.io import read_dataset, write_dataset
 from repro.datasets.profiles import generate_profile_dataset
 from repro.evaluation.reports import rows_to_csv
 from repro.join import ALGORITHMS, similarity_join, similarity_join_rs
+from repro.similarity.measures import MEASURE_NAMES
 
 __all__ = ["main", "build_parser"]
 
@@ -69,7 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="second dataset file: compute the R ⋈ S join of INPUT (R) and this file (S) "
         "instead of a self-join; pairs are (left index, right index)",
     )
-    join_parser.add_argument("--threshold", type=float, default=0.5, help="Jaccard threshold (default 0.5)")
+    join_parser.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="similarity threshold on the measure's own scale (default 0.5)",
+    )
+    join_parser.add_argument(
+        "--measure", choices=MEASURE_NAMES, default=None,
+        help="similarity measure (default jaccard); non-default thresholds are "
+        "translated for the randomized algorithms through the measure's Jaccard floor",
+    )
     join_parser.add_argument("--algorithm", choices=ALGORITHMS, default="cpsjoin")
     join_parser.add_argument("--seed", type=int, default=None, help="random seed for the randomized algorithms")
     join_parser.add_argument("--repetitions", type=int, default=None, help="CPSJOIN repetitions (default 10)")
@@ -106,7 +118,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     index_build.add_argument("input", type=str, help="dataset file (one record per line of integer tokens)")
     index_build.add_argument("--out", type=str, required=True, help="output pickle path")
-    index_build.add_argument("--threshold", type=float, default=0.5, help="Jaccard threshold (default 0.5)")
+    index_build.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="similarity threshold on the measure's own scale (default 0.5)",
+    )
+    index_build.add_argument(
+        "--measure", choices=MEASURE_NAMES, default=None,
+        help="similarity measure of the index (default jaccard; persisted with it)",
+    )
     index_build.add_argument(
         "--candidates",
         choices=["exact", "chosenpath", "lsh"],
@@ -162,6 +181,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the loaded index's executor for this run",
     )
 
+    index_topk = index_subparsers.add_parser(
+        "query-topk",
+        help="run top-k lookups from a query file against a pickled index",
+    )
+    index_topk.add_argument("index", type=str, help="pickled index produced by `index build`")
+    index_topk.add_argument("queries", type=str, help="query dataset file (same token-set format)")
+    index_topk.add_argument(
+        "--k", type=int, required=True,
+        help="matches to keep per query: the first k entries of the "
+        "corresponding threshold query (decreasing similarity, ties by id)",
+    )
+    index_topk.add_argument(
+        "--floor", type=float, default=None,
+        help="also cut each result at the first match below this similarity "
+        "(a per-query tightening of the index threshold)",
+    )
+    index_topk.add_argument(
+        "--out", type=str, default=None, help="write matches as CSV to this path (default stdout)"
+    )
+    index_topk.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override the loaded index's parallel query workers for this run",
+    )
+    index_topk.add_argument(
+        "--executor",
+        choices=["serial", "threads", "processes"],
+        default=None,
+        help="override the loaded index's executor for this run",
+    )
+
     serve_parser = subparsers.add_parser(
         "serve", help="serve a resident SimilarityIndex over TCP (JSON-lines protocol)"
     )
@@ -184,7 +235,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         # None defaults (not 0.5/"exact") so a snapshot-mismatch warning can
         # tell an explicit flag from an untouched default.
-        "--threshold", type=float, default=None, help="Jaccard threshold (default 0.5)"
+        "--threshold", type=float, default=None,
+        help="similarity threshold on the measure's own scale (default 0.5)",
+    )
+    serve_parser.add_argument(
+        "--measure", choices=MEASURE_NAMES, default=None,
+        help="similarity measure of the served index (default jaccard)",
     )
     serve_parser.add_argument(
         "--candidates", choices=["exact", "chosenpath", "lsh"], default=None,
@@ -305,6 +361,7 @@ def _command_join(args: argparse.Namespace) -> int:
             backend=args.backend,
             workers=args.workers,
             executor=args.executor,
+            measure=args.measure,
         )
     else:
         result = similarity_join(
@@ -316,6 +373,7 @@ def _command_join(args: argparse.Namespace) -> int:
             backend=args.backend,
             workers=args.workers,
             executor=args.executor,
+            measure=args.measure,
         )
 
     rows = [{"first": first, "second": second} for first, second in sorted(result.pairs)]
@@ -349,17 +407,19 @@ def _command_index(args: argparse.Namespace) -> int:
             candidates=args.candidates,
             backend=args.backend,
             seed=args.seed,
+            measure=args.measure,
             **options,
         )
         index.save(args.out)
         print(
             f"indexed {len(index)} records at threshold {index.threshold} "
-            f"({index.candidates} candidates, {index.backend} backend) in "
+            f"({index.measure.name} measure, {index.candidates} candidates, "
+            f"{index.backend} backend) in "
             f"{index.stats.index_build_seconds:.3f}s -> {args.out}"
         )
         return 0
 
-    # index query
+    # index query / query-topk
     try:
         index = SimilarityIndex.load(args.index)
     except IndexPersistenceError as error:
@@ -371,11 +431,24 @@ def _command_index(args: argparse.Namespace) -> int:
     if args.executor is not None:
         index.executor = args.executor
     queries = read_dataset(args.queries)
+    inserting = getattr(args, "insert", False)
     # A loaded index carries the stats of every previous session; report the
     # timing of *this* run as deltas against the loaded snapshot.
     before = index.stats.snapshot()
     rows = []
-    if args.insert:
+    if args.index_command == "query-topk":
+        from repro.index.similarity_index import topk_from_matches
+
+        if args.k < 1:
+            raise SystemExit("--k must be a positive integer")
+        # Batched lookups plus the shared truncation rule: identical to
+        # calling index.query_topk per record, with the batching amortized.
+        for query_id, matches in enumerate(index.query_batch(queries.records)):
+            for record_id, similarity in topk_from_matches(matches, args.k, args.floor):
+                rows.append(
+                    {"query": query_id, "match": record_id, "similarity": f"{similarity:.6f}"}
+                )
+    elif inserting:
         # Streaming shape: each query must see the records inserted before it,
         # so queries and inserts interleave per record.
         for query_id, record in enumerate(queries.records):
@@ -395,7 +468,7 @@ def _command_index(args: argparse.Namespace) -> int:
         Path(args.out).write_text(csv_text, encoding="utf-8")
     else:
         sys.stdout.write(csv_text)
-    if args.insert:
+    if inserting:
         index.save(args.index)
     session = index.stats.delta(before)
     candidate = session["candidate_seconds"]
@@ -405,7 +478,7 @@ def _command_index(args: argparse.Namespace) -> int:
         f"# {len(queries.records)} queries, {len(rows)} matches, "
         f"{candidate + filtering + verify:.3f}s query time "
         f"(candidate {candidate:.3f}s / filter {filtering:.3f}s / verify {verify:.3f}s)"
-        + (f"; index grown to {len(index)} records" if args.insert else ""),
+        + (f"; index grown to {len(index)} records" if inserting else ""),
         file=sys.stderr,
     )
     return 0
@@ -435,6 +508,7 @@ def _command_serve(args: argparse.Namespace) -> int:
                 candidates=candidates,
                 backend=args.backend,
                 seed=args.seed,
+                measure=args.measure,
                 **options,
             )
         return SimilarityIndex(
@@ -442,6 +516,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             candidates=candidates,
             backend=args.backend,
             seed=args.seed,
+            measure=args.measure,
             **options,
         )
 
@@ -480,11 +555,13 @@ def _command_serve(args: argparse.Namespace) -> int:
         # index); warn when an *explicitly passed* flag disagrees with it.
         requested = {
             "threshold": args.threshold,
+            "measure": args.measure,
             "candidates": args.candidates,
             "backend": args.backend,
         }
         actual = {
             "threshold": server.index.threshold,
+            "measure": server.index.measure.name,
             "candidates": server.index.candidates,
             "backend": server.index.backend,
         }
@@ -497,7 +574,8 @@ def _command_serve(args: argparse.Namespace) -> int:
                 )
         print(
             f"# serving {len(server.index)} records "
-            f"(threshold {server.index.threshold}, {server.index.candidates} candidates, "
+            f"(threshold {server.index.threshold}, {server.index.measure.name} measure, "
+            f"{server.index.candidates} candidates, "
             f"{server.index.backend} backend) on {server.host}:{server.port}"
             + (f"; persistence in {args.data_dir}" if args.data_dir else "; in-memory only"),
             file=sys.stderr,

@@ -8,7 +8,9 @@ strategy, sketch usage, exact vs sketch-sampled average-similarity estimate).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Union
+
+from repro.similarity.measures import Measure, get_measure
 
 __all__ = ["CPSJoinConfig"]
 
@@ -79,6 +81,14 @@ class CPSJoinConfig:
         the preprocessed collection is placed in shared memory once and
         workers attach zero-copy).  The reported pair set is identical for
         every executor at a fixed seed.
+    measure:
+        Similarity measure the join verifies under: a registered name
+        (``"jaccard"``, ``"cosine"``, ``"dice"``, ``"braun_blanquet"``, …), a
+        :class:`~repro.similarity.measures.Measure` instance (possibly
+        weighted), or ``None`` for plain Jaccard.  The randomized recursion
+        runs at the measure's Jaccard floor of the threshold; measures with
+        no positive floor (overlap coefficient, containment) cannot be
+        served by CPSJOIN and are rejected at join time.
     """
 
     limit: int = 250
@@ -96,6 +106,7 @@ class CPSJoinConfig:
     backend: str = "python"
     workers: int = 1
     executor: str = "threads"
+    measure: Union[str, Measure, None] = None
 
     def __post_init__(self) -> None:
         if self.limit < 1:
@@ -122,6 +133,9 @@ class CPSJoinConfig:
             raise ValueError("workers must be at least 1")
         if self.executor not in _VALID_EXECUTORS:
             raise ValueError(f"executor must be one of {_VALID_EXECUTORS}")
+        # Validate only (raises on unknown names); the field keeps the user's
+        # value so frozen-dataclass replace()/equality semantics are unchanged.
+        get_measure(self.measure)
 
     def with_seed(self, seed: Optional[int]) -> "CPSJoinConfig":
         """Return a copy of the configuration with a different seed."""

@@ -47,6 +47,7 @@ from repro.core.config import CPSJoinConfig
 from repro.core.preprocess import PreprocessedCollection, preprocess_collection
 from repro.engine import CandidateStage, JoinEngine, PointCandidates, SubsetCandidates, Task
 from repro.result import JoinResult, JoinStats, Timer
+from repro.similarity.measures import get_measure
 
 __all__ = ["CPSJoin", "ChosenPathCandidateStage", "cpsjoin"]
 
@@ -78,7 +79,7 @@ class ChosenPathCandidateStage(CandidateStage):
         # backend instance so token packing happens once per collection.
         self.estimator = BruteForcer(
             collection,
-            join.threshold,
+            join.embedded_threshold,
             stats,
             use_sketches=join.config.use_sketches,
             sketch_false_negative_rate=join.config.sketch_false_negative_rate,
@@ -139,7 +140,10 @@ class ChosenPathCandidateStage(CandidateStage):
             return []
 
         averages = self.estimator.average_similarities(subset, method=join.config.average_method)
-        cutoff = (1.0 - join.config.epsilon) * join.threshold
+        # The estimates live in embedded-Jaccard space, so the adaptive rule
+        # compares against the embedded threshold (identical to λ for the
+        # default measure).
+        cutoff = (1.0 - join.config.epsilon) * join.embedded_threshold
         to_remove = [record_id for record_id, average in zip(subset, averages) if average > cutoff]
         if to_remove:
             stats.extra["bruteforce_point_calls"] = stats.extra.get("bruteforce_point_calls", 0.0) + float(len(to_remove))
@@ -199,9 +203,21 @@ class CPSJoin:
     Parameters
     ----------
     threshold:
-        Jaccard similarity threshold ``λ`` in ``(0, 1)``.
+        Similarity threshold ``λ`` in ``(0, 1)``, on the configured measure's
+        own scale.
     config:
         Algorithm parameters; see :class:`repro.core.config.CPSJoinConfig`.
+
+    Notes
+    -----
+    With a non-Jaccard measure the randomized machinery (the Chosen Path
+    recursion, the adaptive rule's similarity estimates, the sketch filter)
+    runs at the *embedded* threshold — the measure's Jaccard floor of ``λ``,
+    the smallest Jaccard any qualifying pair can have — while exact
+    verification scores candidates with the real measure at ``λ``.  Measures
+    whose floor is zero (overlap coefficient, containment) give the
+    recursion nothing to recurse on and are rejected; use the exact join
+    algorithms for those.
     """
 
     algorithm_name = "CPSJOIN"
@@ -211,6 +227,14 @@ class CPSJoin:
             raise ValueError("threshold must be in (0, 1)")
         self.threshold = threshold
         self.config = config if config is not None else CPSJoinConfig()
+        self.measure = get_measure(self.config.measure)
+        self.embedded_threshold = self.measure.jaccard_floor(threshold)
+        if self.embedded_threshold <= 0.0:
+            raise ValueError(
+                f"measure {self.measure.name!r} has no positive Jaccard floor at "
+                f"threshold {threshold}; CPSJOIN cannot bound its recursion — use "
+                "an exact algorithm (allpairs / ppjoin) for this measure"
+            )
 
     # ------------------------------------------------------------------ public API
     def join(
@@ -264,6 +288,7 @@ class CPSJoin:
             backend=self.config.backend,
             use_sketches=self.config.use_sketches,
             sketch_false_negative_rate=self.config.sketch_false_negative_rate,
+            measure=self.measure,
         )
         stage = ChosenPathCandidateStage(self, collection, engine, rng, stats)
         with Timer() as timer:
@@ -290,8 +315,9 @@ class CPSJoin:
         """
         num_functions = collection.embedding_size
         # Each coordinate is chosen independently with probability 1/(λ t), so
-        # the expected number of chosen coordinates is 1/λ.
-        probability = min(1.0, 1.0 / (self.threshold * num_functions))
+        # the expected number of chosen coordinates is 1/λ (λ being the
+        # embedded threshold — the MinHash values estimate embedded Jaccard).
+        probability = min(1.0, 1.0 / (self.embedded_threshold * num_functions))
         chosen = np.flatnonzero(rng.random(num_functions) < probability)
         if chosen.size == 0:
             # Guarantee progress: always split on at least one coordinate.
@@ -329,7 +355,9 @@ class CPSJoin:
         """
         if self.config.global_depth is not None:
             return self.config.global_depth
-        return max(1, math.ceil(math.log(max(2, num_records)) / math.log(1.0 / self.threshold)))
+        return max(
+            1, math.ceil(math.log(max(2, num_records)) / math.log(1.0 / self.embedded_threshold))
+        )
 
     def _individual_depths(self, subset: List[int], brute_forcer: BruteForcer) -> np.ndarray:
         """Per-record stopping depths for the ``individual`` strategy.
@@ -343,14 +371,15 @@ class CPSJoin:
         """
         averages = brute_forcer.average_similarities(subset, method=self.config.average_method)
         num_records = max(2, len(subset))
+        threshold = self.embedded_threshold
         depths = np.zeros(len(subset), dtype=np.int64)
         for position, average in enumerate(averages):
-            if average >= self.threshold:
+            if average >= threshold:
                 depths[position] = 0
                 continue
             average = max(average, 1e-6)
             depths[position] = max(
-                1, int(math.ceil(math.log(num_records) / math.log(self.threshold / average)))
+                1, int(math.ceil(math.log(num_records) / math.log(threshold / average)))
             )
         return depths
 

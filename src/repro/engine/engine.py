@@ -59,12 +59,21 @@ class JoinEngine:
         The preprocessed records the join runs over (carries the R ⋈ S side
         labels, if any).
     threshold:
-        Jaccard threshold ``λ``.
+        Similarity threshold ``λ`` on the measure's own scale.
     backend:
         Execution backend name (``"python"`` / ``"numpy"``) or instance.
     use_sketches / sketch_false_negative_rate:
         Configuration of the default :class:`SketchFilterStage` (``δ``
-        determines the estimator cut-off ``λ̂``).
+        determines the estimator cut-off ``λ̂``).  The sketches estimate
+        *Jaccard* similarity, so for a non-default measure the cut-off is
+        derived from the measure's Jaccard floor — the smallest Jaccard any
+        pair meeting the threshold can have.  Measures with a zero floor
+        (overlap coefficient, containment) admit pairs of arbitrarily low
+        Jaccard, so the sketch filter is unusable and must be disabled.
+    measure:
+        Similarity measure (name, instance or ``None`` for Jaccard) the
+        verification kernels score under.  Ignored when ``backend`` is an
+        already constructed instance (the instance's measure wins).
     batch_budget:
         Maximum number of pre-filter candidate pairs accumulated before a
         batch is flushed through the filter and verify stages (bounds the
@@ -81,15 +90,26 @@ class JoinEngine:
         use_sketches: bool = True,
         sketch_false_negative_rate: float = 0.05,
         batch_budget: int = DEFAULT_BATCH_BUDGET,
+        measure=None,
     ) -> None:
         if batch_budget < 1:
             raise ValueError("batch_budget must be positive")
         self.collection = collection
         self.threshold = threshold
-        self.backend: ExecutionBackend = make_backend(backend, collection, threshold)
+        self.backend: ExecutionBackend = make_backend(backend, collection, threshold, measure)
+        self.measure = self.backend.measure
+        jaccard_floor = self.measure.jaccard_floor(threshold)
+        if use_sketches and jaccard_floor <= 0.0:
+            raise ValueError(
+                f"measure {self.measure.name!r} has no positive Jaccard floor at "
+                f"threshold {threshold}; the 1-bit minwise sketch filter cannot be "
+                "used — pass use_sketches=False or use an exact algorithm"
+            )
         self.use_sketches = use_sketches
         self.sketch_cutoff = sketch_similarity_threshold(
-            threshold, collection.sketches.num_bits, sketch_false_negative_rate
+            jaccard_floor if use_sketches else threshold,
+            collection.sketches.num_bits,
+            sketch_false_negative_rate,
         )
         self.batch_budget = batch_budget
         self.verify_stage = VerifyStage(self.backend)

@@ -40,7 +40,7 @@ from typing import Iterable, Iterator, List, Sequence, Set, Tuple, Union
 import numpy as np
 
 from repro.backend import ExecutionBackend
-from repro.backend.kernels import size_compatible_mask, sketch_estimates
+from repro.backend.kernels import sketch_estimates
 from repro.result import canonical_pair
 
 __all__ = [
@@ -178,8 +178,8 @@ class SketchFilterStage:
         if firsts.size == 0:
             return firsts, seconds
         backend = self.backend
-        sizes = backend.sizes
-        passing = size_compatible_mask(sizes[firsts], sizes[seconds], backend.threshold)
+        sizes = backend.measure_sizes
+        passing = backend.measure.size_compatible(sizes[firsts], sizes[seconds], backend.threshold)
         if self.use_sketches:
             sketches = backend.collection.sketches
             estimates = sketch_estimates(

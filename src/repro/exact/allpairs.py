@@ -5,16 +5,22 @@ optimized prefix-filtering algorithm is "always competitive within a factor
 2.16, and most often the fastest" among seven exact methods, which is why the
 paper compares CPSJOIN against it (Section V-C).
 
-The implementation follows the standard formulation for Jaccard thresholds:
+The implementation follows the standard formulation, generalized over the
+:class:`~repro.similarity.measures.Measure` abstraction (the default Jaccard
+instantiation reproduces the classical bounds expression-for-expression):
 
 1. tokens are globally ordered from rarest to most frequent and records are
    re-expressed in that order (:class:`repro.exact.prefix_filter.FrequencyOrder`);
-2. records are processed in non-decreasing size order; each record first
-   *probes* the inverted lists of its probing prefix (length
-   ``|x| - ⌈λ|x|⌉ + 1``), applying the length filter ``|y| ≥ λ|x|`` to every
-   posting, and then *indexes* its mid-prefix
-   (length ``|x| - ⌈2λ/(1+λ)|x|⌉ + 1``);
-3. unique candidates are verified with the early-terminating merge kernel.
+2. records are processed in non-decreasing measure-size order; each record
+   first *probes* the inverted lists of its probing prefix (derived from the
+   measure's ``probe_overlap_floor``), applying the measure's length filter
+   to every posting, and then *indexes* its mid-prefix (derived from
+   ``index_overlap_floor``);
+3. unique candidates are verified with the exact verification kernel.
+
+With a weighted measure the sizes, floors, and prefixes are computed over
+summed token weights (the prefix boundary is found by accumulating suffix
+weights instead of counting tokens).
 
 Instrumentation matches Table IV of the paper: *pre-candidates* are postings
 that pass the size probe, *candidates* are the distinct record pairs handed to
@@ -23,19 +29,55 @@ verification.
 
 from __future__ import annotations
 
-from typing import Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 from repro.exact.inverted_index import InvertedIndex
-from repro.exact.prefix_filter import (
-    FrequencyOrder,
-    index_prefix_length,
-    minimum_compatible_size,
-    prefix_length,
-)
+from repro.exact.prefix_filter import FrequencyOrder, prefix_length_for_floor
 from repro.result import JoinResult, JoinStats, Timer, canonical_pair
-from repro.similarity.verify import verify_pair_sorted
+from repro.similarity.measures import Measure, get_measure
+from repro.similarity.verify import verify_pair_sorted, verify_pair_sorted_measure
 
 __all__ = ["AllPairsJoin", "all_pairs_join"]
+
+
+def prepare_ranked_collection(
+    records: Sequence[Sequence[int]], measure: Measure
+) -> Tuple[FrequencyOrder, List[Tuple[int, ...]], Optional[List[float]], List, List[int]]:
+    """Shared preprocessing of the prefix-filtering joins.
+
+    Returns ``(order, ranked, rank_weights, measure_sizes, processing_order)``:
+    the frequency order, the ranked records, the rank → token-weight table
+    (``None`` for unweighted measures), each record's measure size, and the
+    record ids sorted by non-decreasing measure size (the order that makes
+    the length filter and mid-prefix indexing valid).
+    """
+    order = FrequencyOrder([tuple(record) for record in records])
+    ranked = order.rank_records([tuple(record) for record in records])
+    if measure.weighted:
+        rank_weights = [
+            measure.token_weight(order.token_of(rank)) for rank in range(order.universe_size)
+        ]
+        weight_of = rank_weights.__getitem__
+        measure_sizes = [sum(weight_of(rank) for rank in record) for record in ranked]
+    else:
+        rank_weights = None
+        measure_sizes = [len(record) for record in ranked]
+    processing_order = sorted(range(len(records)), key=lambda index: measure_sizes[index])
+    return order, ranked, rank_weights, measure_sizes, processing_order
+
+
+def record_suffix_bounds(record: Sequence[int], weight_of) -> List[float]:
+    """Per-position overlap still available *after* that position.
+
+    ``bounds[p]`` is the total weight of ``record[p + 1:]``, accumulated from
+    the rare end so every entry is an exact-as-possible upper bound.
+    """
+    bounds = [0.0] * len(record)
+    accumulated = 0.0
+    for position in range(len(record) - 1, -1, -1):
+        bounds[position] = accumulated
+        accumulated += weight_of(record[position])
+    return bounds
 
 
 class AllPairsJoin:
@@ -44,27 +86,39 @@ class AllPairsJoin:
     Parameters
     ----------
     threshold:
-        Jaccard similarity threshold ``λ`` in ``(0, 1]``.
+        Similarity threshold ``λ`` in ``(0, 1]`` on the measure's own scale.
+    measure:
+        Similarity measure (name, instance or ``None`` for Jaccard).  Every
+        registered measure is supported — including the floorless overlap
+        coefficient and containment, whose probing prefix degenerates to the
+        whole record.
     """
 
-    def __init__(self, threshold: float) -> None:
+    algorithm_name = "ALLPAIRS"
+
+    def __init__(self, threshold: float, measure: Union[str, Measure, None] = None) -> None:
         if not 0.0 < threshold <= 1.0:
             raise ValueError("threshold must be in (0, 1]")
         self.threshold = threshold
+        self.measure = get_measure(measure)
 
     def join(self, records: Sequence[Sequence[int]]) -> JoinResult:
         """Compute the exact self-join of ``records`` at the configured threshold."""
-        stats = JoinStats(algorithm="ALLPAIRS", threshold=self.threshold, num_records=len(records))
+        measure = self.measure
+        threshold = self.threshold
+        stats = JoinStats(
+            algorithm=self.algorithm_name, threshold=threshold, num_records=len(records)
+        )
         pairs: Set[Tuple[int, int]] = set()
 
         with Timer() as preprocess_timer:
-            order = FrequencyOrder([tuple(record) for record in records])
-            ranked = order.rank_records([tuple(record) for record in records])
-            # Process records from smallest to largest so the length filter and
-            # the mid-prefix indexing are valid; keep original indices around.
-            processing_order = sorted(range(len(records)), key=lambda index: len(ranked[index]))
+            _, ranked, rank_weights, measure_sizes, processing_order = prepare_ranked_collection(
+                records, measure
+            )
+            weight_of = None if rank_weights is None else rank_weights.__getitem__
         stats.preprocessing_seconds = preprocess_timer.elapsed
 
+        use_default_verify = measure.is_default
         index = InvertedIndex()
         with Timer() as timer:
             for record_id in processing_order:
@@ -72,12 +126,15 @@ class AllPairsJoin:
                 size = len(record)
                 if size == 0:
                     continue
-                min_size = minimum_compatible_size(size, self.threshold)
-                probe_prefix = prefix_length(size, self.threshold)
+                msize = measure_sizes[record_id]
+                min_size = measure.min_compatible_size(msize, threshold)
+                probe_prefix = prefix_length_for_floor(
+                    record, measure.probe_overlap_floor(msize, threshold), weight_of
+                )
 
                 # ---- candidate generation: scan the lists of the probing prefix.
                 candidate_ids: Set[int] = set()
-                for position in range(min(probe_prefix, size)):
+                for position in range(probe_prefix):
                     token = record[position]
                     for posting in index.postings(token):
                         if posting.record_size < min_size:
@@ -89,13 +146,28 @@ class AllPairsJoin:
                 for other_id in candidate_ids:
                     stats.candidates += 1
                     stats.verified += 1
-                    accepted, _ = verify_pair_sorted(record, ranked[other_id], self.threshold)
+                    if use_default_verify:
+                        accepted, _ = verify_pair_sorted(record, ranked[other_id], threshold)
+                    else:
+                        accepted, _ = verify_pair_sorted_measure(
+                            record, ranked[other_id], threshold, measure, weight_of=weight_of
+                        )
                     if accepted:
                         pairs.add(canonical_pair(record_id, other_id))
 
                 # ---- index the mid-prefix of this record for later probes.
-                for position in range(min(index_prefix_length(size, self.threshold), size)):
-                    index.add(record[position], record_id, size, position)
+                index_prefix = prefix_length_for_floor(
+                    record, measure.index_overlap_floor(msize, threshold), weight_of
+                )
+                if weight_of is None:
+                    for position in range(index_prefix):
+                        index.add(record[position], record_id, msize, position, size - position - 1)
+                else:
+                    suffix_bounds = record_suffix_bounds(record, weight_of)
+                    for position in range(index_prefix):
+                        index.add(
+                            record[position], record_id, msize, position, suffix_bounds[position]
+                        )
 
         stats.results = len(pairs)
         stats.elapsed_seconds = timer.elapsed
@@ -103,6 +175,10 @@ class AllPairsJoin:
         return JoinResult(pairs=pairs, stats=stats)
 
 
-def all_pairs_join(records: Sequence[Sequence[int]], threshold: float) -> JoinResult:
+def all_pairs_join(
+    records: Sequence[Sequence[int]],
+    threshold: float,
+    measure: Union[str, Measure, None] = None,
+) -> JoinResult:
     """Functional convenience wrapper around :class:`AllPairsJoin`."""
-    return AllPairsJoin(threshold).join(records)
+    return AllPairsJoin(threshold, measure=measure).join(records)

@@ -19,11 +19,19 @@ __all__ = ["InvertedIndex", "Posting"]
 
 @dataclass(frozen=True)
 class Posting:
-    """One entry of an inverted list."""
+    """One entry of an inverted list.
+
+    ``record_size`` is the record's *measure* size — the token count for
+    unweighted measures, the summed token weights otherwise.
+    ``suffix_bound`` caps the overlap still achievable after this token in
+    the indexed record (tokens-after count unweighted, suffix weight
+    weighted); PPJOIN's positional filter reads it.
+    """
 
     record_id: int
-    record_size: int
+    record_size: float
     token_position: int
+    suffix_bound: float = 0.0
 
 
 class InvertedIndex:
@@ -40,9 +48,16 @@ class InvertedIndex:
         self._lists: DefaultDict[int, List[Posting]] = defaultdict(list)
         self._num_postings = 0
 
-    def add(self, token: int, record_id: int, record_size: int, token_position: int) -> None:
+    def add(
+        self,
+        token: int,
+        record_id: int,
+        record_size: float,
+        token_position: int,
+        suffix_bound: float = 0.0,
+    ) -> None:
         """Append a posting to the list of ``token``."""
-        self._lists[token].append(Posting(record_id, record_size, token_position))
+        self._lists[token].append(Posting(record_id, record_size, token_position, suffix_bound))
         self._num_postings += 1
 
     def postings(self, token: int) -> List[Posting]:

@@ -9,15 +9,20 @@ produce identical outputs, which the integration tests assert).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Union
 
 from repro.result import JoinResult, JoinStats, Timer, canonical_pair
-from repro.similarity.verify import verify_pair_sorted
+from repro.similarity.measures import Measure, get_measure
+from repro.similarity.verify import verify_pair_sorted, verify_pair_sorted_measure
 
 __all__ = ["naive_join"]
 
 
-def naive_join(records: Sequence[Sequence[int]], threshold: float) -> JoinResult:
+def naive_join(
+    records: Sequence[Sequence[int]],
+    threshold: float,
+    measure: Union[str, Measure, None] = None,
+) -> JoinResult:
     """Exact self-join by comparing all pairs of records.
 
     Parameters
@@ -26,12 +31,16 @@ def naive_join(records: Sequence[Sequence[int]], threshold: float) -> JoinResult
         Collection of records; each record must be a sorted sequence of
         distinct tokens (as produced by :class:`repro.datasets.base.Dataset`).
     threshold:
-        Jaccard similarity threshold ``λ`` in ``(0, 1]``.
+        Similarity threshold ``λ`` in ``(0, 1]`` on the measure's own scale.
+    measure:
+        Similarity measure (name, instance or ``None`` for Jaccard).
     """
     if not 0.0 < threshold <= 1.0:
         raise ValueError("threshold must be in (0, 1]")
+    resolved = get_measure(measure)
     stats = JoinStats(algorithm="NAIVE", threshold=threshold, num_records=len(records))
     pairs = set()
+    use_default_verify = resolved.is_default
     with Timer() as timer:
         for first in range(len(records)):
             record_first = records[first]
@@ -39,7 +48,12 @@ def naive_join(records: Sequence[Sequence[int]], threshold: float) -> JoinResult
                 stats.pre_candidates += 1
                 stats.candidates += 1
                 stats.verified += 1
-                accepted, _ = verify_pair_sorted(record_first, records[second], threshold)
+                if use_default_verify:
+                    accepted, _ = verify_pair_sorted(record_first, records[second], threshold)
+                else:
+                    accepted, _ = verify_pair_sorted_measure(
+                        record_first, records[second], threshold, resolved
+                    )
                 if accepted:
                     pairs.add(canonical_pair(first, second))
     stats.results = len(pairs)

@@ -1,31 +1,34 @@
 """PPJOIN exact set similarity join (Xiao, Wang, Lin, Yu, Wang).
 
 PPJOIN extends ALLPAIRS with the *positional filter*: while scanning the
-inverted lists of the probing prefix it tracks, per candidate, how many prefix
-tokens have matched so far and an upper bound on the total overlap given the
-positions of the current match in both records; candidates whose bound falls
-below the required overlap are pruned before verification.
+inverted lists of the probing prefix it tracks, per candidate, how much prefix
+overlap has accumulated so far and an upper bound on the total overlap given
+the positions of the current match in both records; candidates whose bound
+falls below the measure's required overlap are pruned before verification.
 
 The paper cites PPJOIN as one of the state-of-the-art exact methods evaluated
 by Mann et al. (where ALLPAIRS was usually at least as fast); it is included
 here both as a second exact baseline and as a consistency check for the
 ALLPAIRS implementation — both must produce exactly the same result sets.
+
+Like ALLPAIRS the implementation is generic over the
+:class:`~repro.similarity.measures.Measure` abstraction: with a weighted
+measure the accumulated overlap and the positional bounds are token-weight
+sums (the indexed side's bound is the ``suffix_bound`` carried by every
+:class:`~repro.exact.inverted_index.Posting`), and the default Jaccard
+instantiation reproduces the classical integer arithmetic exactly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Set, Tuple
+from typing import Dict, Sequence, Set, Tuple, Union
 
+from repro.exact.allpairs import prepare_ranked_collection, record_suffix_bounds
 from repro.exact.inverted_index import InvertedIndex
-from repro.exact.prefix_filter import (
-    FrequencyOrder,
-    index_prefix_length,
-    minimum_compatible_size,
-    prefix_length,
-)
+from repro.exact.prefix_filter import prefix_length_for_floor
 from repro.result import JoinResult, JoinStats, Timer, canonical_pair
-from repro.similarity.measures import required_overlap_for_jaccard
-from repro.similarity.verify import verify_pair_sorted
+from repro.similarity.measures import Measure, get_measure
+from repro.similarity.verify import verify_pair_sorted, verify_pair_sorted_measure
 
 __all__ = ["PPJoin", "ppjoin"]
 
@@ -33,24 +36,33 @@ _PRUNED = -1
 
 
 class PPJoin:
-    """Reusable PPJOIN join engine for Jaccard similarity self-joins."""
+    """Reusable PPJOIN join engine (any registered similarity measure)."""
 
-    def __init__(self, threshold: float) -> None:
+    algorithm_name = "PPJOIN"
+
+    def __init__(self, threshold: float, measure: Union[str, Measure, None] = None) -> None:
         if not 0.0 < threshold <= 1.0:
             raise ValueError("threshold must be in (0, 1]")
         self.threshold = threshold
+        self.measure = get_measure(measure)
 
     def join(self, records: Sequence[Sequence[int]]) -> JoinResult:
         """Compute the exact self-join of ``records`` at the configured threshold."""
-        stats = JoinStats(algorithm="PPJOIN", threshold=self.threshold, num_records=len(records))
+        measure = self.measure
+        threshold = self.threshold
+        stats = JoinStats(
+            algorithm=self.algorithm_name, threshold=threshold, num_records=len(records)
+        )
         pairs: Set[Tuple[int, int]] = set()
 
         with Timer() as preprocess_timer:
-            order = FrequencyOrder([tuple(record) for record in records])
-            ranked = order.rank_records([tuple(record) for record in records])
-            processing_order = sorted(range(len(records)), key=lambda index: len(ranked[index]))
+            _, ranked, rank_weights, measure_sizes, processing_order = prepare_ranked_collection(
+                records, measure
+            )
+            weight_of = None if rank_weights is None else rank_weights.__getitem__
         stats.preprocessing_seconds = preprocess_timer.elapsed
 
+        use_default_verify = measure.is_default
         index = InvertedIndex()
         with Timer() as timer:
             for record_id in processing_order:
@@ -58,14 +70,26 @@ class PPJoin:
                 size = len(record)
                 if size == 0:
                     continue
-                min_size = minimum_compatible_size(size, self.threshold)
-                probe_prefix = min(prefix_length(size, self.threshold), size)
+                msize = measure_sizes[record_id]
+                min_size = measure.min_compatible_size(msize, threshold)
+                probe_prefix = prefix_length_for_floor(
+                    record, measure.probe_overlap_floor(msize, threshold), weight_of
+                )
+                suffix_bounds = (
+                    record_suffix_bounds(record, weight_of) if weight_of is not None else None
+                )
 
-                # Matched-prefix-token counts per candidate; _PRUNED marks
+                # Accumulated prefix overlap per candidate; _PRUNED marks
                 # candidates eliminated by the positional filter.
-                overlap_counts: Dict[int, int] = {}
+                overlap_counts: Dict[int, float] = {}
                 for position in range(probe_prefix):
                     token = record[position]
+                    if weight_of is None:
+                        token_weight = 1
+                        probe_remaining = size - position - 1
+                    else:
+                        token_weight = weight_of(token)
+                        probe_remaining = suffix_bounds[position]
                     for posting in index.postings(token):
                         if posting.record_size < min_size:
                             continue
@@ -73,14 +97,12 @@ class PPJoin:
                         current = overlap_counts.get(posting.record_id, 0)
                         if current == _PRUNED:
                             continue
-                        required = required_overlap_for_jaccard(
-                            size, posting.record_size, self.threshold
-                        )
-                        # Positional filter: tokens still available after the
-                        # current match in either record bound the final overlap.
-                        remaining = min(size - position - 1, posting.record_size - posting.token_position - 1)
-                        if current + 1 + remaining >= required:
-                            overlap_counts[posting.record_id] = current + 1
+                        required = measure.required_overlap(msize, posting.record_size, threshold)
+                        # Positional filter: overlap still available after the
+                        # current match in either record bounds the final overlap.
+                        remaining = min(probe_remaining, posting.suffix_bound)
+                        if current + token_weight + remaining >= required:
+                            overlap_counts[posting.record_id] = current + token_weight
                         else:
                             overlap_counts[posting.record_id] = _PRUNED
 
@@ -89,12 +111,26 @@ class PPJoin:
                         continue
                     stats.candidates += 1
                     stats.verified += 1
-                    accepted, _ = verify_pair_sorted(record, ranked[other_id], self.threshold)
+                    if use_default_verify:
+                        accepted, _ = verify_pair_sorted(record, ranked[other_id], threshold)
+                    else:
+                        accepted, _ = verify_pair_sorted_measure(
+                            record, ranked[other_id], threshold, measure, weight_of=weight_of
+                        )
                     if accepted:
                         pairs.add(canonical_pair(record_id, other_id))
 
-                for position in range(min(index_prefix_length(size, self.threshold), size)):
-                    index.add(record[position], record_id, size, position)
+                index_prefix = prefix_length_for_floor(
+                    record, measure.index_overlap_floor(msize, threshold), weight_of
+                )
+                if weight_of is None:
+                    for position in range(index_prefix):
+                        index.add(record[position], record_id, msize, position, size - position - 1)
+                else:
+                    for position in range(index_prefix):
+                        index.add(
+                            record[position], record_id, msize, position, suffix_bounds[position]
+                        )
 
         stats.results = len(pairs)
         stats.elapsed_seconds = timer.elapsed
@@ -102,6 +138,10 @@ class PPJoin:
         return JoinResult(pairs=pairs, stats=stats)
 
 
-def ppjoin(records: Sequence[Sequence[int]], threshold: float) -> JoinResult:
+def ppjoin(
+    records: Sequence[Sequence[int]],
+    threshold: float,
+    measure: Union[str, Measure, None] = None,
+) -> JoinResult:
     """Functional convenience wrapper around :class:`PPJoin`."""
-    return PPJoin(threshold).join(records)
+    return PPJoin(threshold, measure=measure).join(records)

@@ -13,11 +13,17 @@ does *not* depend on.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.datasets.base import Record
 
-__all__ = ["FrequencyOrder", "prefix_length", "index_prefix_length", "minimum_compatible_size"]
+__all__ = [
+    "FrequencyOrder",
+    "prefix_length",
+    "index_prefix_length",
+    "minimum_compatible_size",
+    "prefix_length_for_floor",
+]
 
 
 def prefix_length(record_size: int, threshold: float) -> int:
@@ -46,6 +52,34 @@ def minimum_compatible_size(record_size: int, threshold: float) -> int:
     ``J(x, y) ≥ λ`` implies ``|y| ≥ λ |x|`` (length filter).
     """
     return math.ceil(threshold * record_size - 1e-9)
+
+
+def prefix_length_for_floor(
+    record: Sequence[int],
+    overlap_floor,
+    weight_of: Optional[Callable[[int], float]] = None,
+) -> int:
+    """Prefix length implied by a required-overlap floor, for any measure.
+
+    A qualifying partner must share overlap at least ``overlap_floor`` with
+    the record, so it must hit the shortest prefix whose *complement* cannot
+    supply that floor on its own.  Unweighted (``weight_of is None``) this is
+    the classical ``|x| - ⌈floor⌉ + 1``; with per-token weights the suffix is
+    accumulated from the rare end until its total weight drops below the
+    floor.  For Jaccard floors this reproduces :func:`prefix_length` /
+    :func:`index_prefix_length` exactly.
+    """
+    size = len(record)
+    if size == 0:
+        return 0
+    if weight_of is None:
+        return max(0, min(size, size - int(overlap_floor) + 1))
+    suffix_weight = 0.0
+    position = size
+    while position > 0 and suffix_weight + weight_of(record[position - 1]) < overlap_floor:
+        suffix_weight += weight_of(record[position - 1])
+        position -= 1
+    return position
 
 
 class FrequencyOrder:

@@ -374,6 +374,7 @@ def run(
             seed=seed,
             meta={
                 "threshold": threshold,
+                "measure": index.measure.name,
                 "num_clients": num_clients,
                 "queries_per_client": queries_per_client,
             },

@@ -47,9 +47,7 @@ import numpy as np
 
 from repro.backend.kernels import (
     csr_overlaps_one_to_many,
-    overlap_jaccard,
-    required_overlaps,
-    size_compatible_mask,
+    csr_weighted_overlaps_one_to_many,
     sketch_estimates,
 )
 from repro.datasets.base import Record
@@ -60,9 +58,15 @@ from repro.hashing.sketch import (
     sketch_similarity_threshold,
 )
 from repro.result import JoinStats, canonical_pair
-from repro.similarity.verify import verify_pair_sorted
+from repro.similarity.measures import Measure, get_measure
+from repro.similarity.verify import verify_pair_sorted, verify_pair_sorted_measure
 
-__all__ = ["SimilarityIndex", "IndexPersistenceError", "normalized_tokens"]
+__all__ = [
+    "SimilarityIndex",
+    "IndexPersistenceError",
+    "normalized_tokens",
+    "topk_from_matches",
+]
 
 Pair = Tuple[int, int]
 Match = Tuple[int, float]
@@ -72,8 +76,13 @@ _WORD_BITS = 64
 _SAVE_MAGIC = b"REPRO-SIMIDX\n"
 """File magic of :meth:`SimilarityIndex.save`; a bare pickle never starts with it."""
 
-SAVE_FORMAT_VERSION = 1
-"""Current on-disk format version written by :meth:`SimilarityIndex.save`."""
+SAVE_FORMAT_VERSION = 2
+"""Current on-disk format version written by :meth:`SimilarityIndex.save`.
+
+Version 2 added the similarity-measure state (the ``measure`` attribute plus
+the weighted token storage); version-1 files — which were always implicit
+Jaccard — still load, defaulting to the Jaccard measure.
+"""
 
 
 class IndexPersistenceError(ValueError):
@@ -105,6 +114,33 @@ def normalized_tokens(record, action: str) -> Tuple[int, ...]:
             f"token {offender} does not fit the index's 64-bit token storage"
         )
     return normalized
+
+
+def topk_from_matches(
+    matches: Sequence["Match"], k: int, floor: Optional[float] = None
+) -> List["Match"]:
+    """The top-``k`` prefix of a descending-sorted match list.
+
+    The one truncation rule shared by :meth:`SimilarityIndex.query_topk` and
+    the serving layer's ``query_topk`` operation, so a served top-k answer is
+    by construction the prefix of the corresponding threshold query.
+    ``floor`` optionally cuts the prefix at the first match below it (a
+    per-query tightening of the index threshold; it can only shrink the
+    result).  ``matches`` must already be sorted by decreasing similarity —
+    exactly what the query methods return.
+    """
+    if isinstance(k, bool) or not isinstance(k, int):
+        raise ValueError("k must be a positive integer")
+    if k < 1:
+        raise ValueError("k must be a positive integer")
+    top: List[Match] = []
+    for record_id, similarity in matches:
+        if floor is not None and similarity < floor:
+            break
+        top.append((record_id, similarity))
+        if len(top) == k:
+            break
+    return top
 
 
 _CANDIDATE_MODES = ("exact", "chosenpath", "lsh")
@@ -222,13 +258,21 @@ class _IncrementalSketcher:
 
 
 class SimilarityIndex:
-    """An incrementally updatable index answering Jaccard threshold queries.
+    """An incrementally updatable index answering similarity threshold queries.
 
     Parameters
     ----------
     threshold:
-        Jaccard threshold ``λ``; queries report indexed records with
-        ``J(query, record) ≥ λ``.
+        Similarity threshold ``λ`` on the configured measure's own scale;
+        queries report indexed records with ``score(query, record) ≥ λ``.
+    measure:
+        Similarity measure (name, :class:`~repro.similarity.measures.Measure`
+        instance, or ``None`` for Jaccard — the historical behaviour,
+        bit-for-bit).  The approximate candidate structures and the sketch
+        filter run at the measure's *Jaccard floor* of the threshold (the
+        Section II-A embedding), so they require a measure with a positive
+        floor; the floorless overlap coefficient / containment measures are
+        limited to ``candidates="exact"`` without sketches.
     candidates:
         Candidate generation structure: ``"exact"`` (token inverted index,
         recall 1 — query results equal an exact batch join), ``"chosenpath"``
@@ -279,6 +323,7 @@ class SimilarityIndex:
         chosen_path_repetitions: int = 12,
         lsh_bands: int = 32,
         lsh_rows: int = 4,
+        measure: Union[str, Measure, None] = None,
     ) -> None:
         from repro.core.repetition import EXECUTOR_NAMES
 
@@ -302,6 +347,18 @@ class SimilarityIndex:
         self.backend = backend_name
         self.seed = seed
         self.use_sketches = (candidates != "exact") if use_sketches is None else bool(use_sketches)
+        self.measure = get_measure(measure)
+        # The approximate structures and the sketch filter operate on plain
+        # Jaccard, so a non-default threshold travels through the measure's
+        # Jaccard-floor embedding (identity for the default measure).
+        self._embedded_threshold = self.measure.jaccard_floor(threshold)
+        if (candidates != "exact" or self.use_sketches) and self._embedded_threshold <= 0.0:
+            raise ValueError(
+                f"measure {self.measure.name!r} provides no Jaccard floor at "
+                f"threshold {threshold}, so the approximate candidate "
+                "structures and the sketch filter cannot bound it; index "
+                "with candidates='exact' and use_sketches=False"
+            )
         self.batch_size = batch_size
         self.workers = workers
         self.executor = executor_name
@@ -317,7 +374,14 @@ class SimilarityIndex:
         # CSR token storage: record i occupies _values[_offsets[i]:_offsets[i+1]].
         self._values = np.zeros(1024, dtype=np.int64)
         self._offsets = np.zeros(17, dtype=np.int64)
-        self._overlap_ratio = threshold / (1.0 + threshold)
+        # Weighted measures additionally keep per-record measure sizes
+        # (summed token weights) and per-token weights aligned with _values.
+        if self.measure.weighted:
+            self._measure_sizes: Optional[np.ndarray] = np.zeros(16, dtype=np.float64)
+            self._value_weights: Optional[np.ndarray] = np.zeros(1024, dtype=np.float64)
+        else:
+            self._measure_sizes = None
+            self._value_weights = None
 
         # Sketch substrate (shared by every candidate mode when enabled).
         self._minhasher: Optional[MinHasher] = None
@@ -330,7 +394,7 @@ class SimilarityIndex:
             self._sketcher = _IncrementalSketcher(embedding_size, sketch_words, sketch_seed)
             self._sketch_words_array = np.zeros((16, sketch_words), dtype=np.uint64)
             self._sketch_cutoff = sketch_similarity_threshold(
-                threshold, sketch_words * _WORD_BITS, sketch_false_negative_rate
+                self._embedded_threshold, sketch_words * _WORD_BITS, sketch_false_negative_rate
             )
 
         # Candidate structure.
@@ -341,7 +405,7 @@ class SimilarityIndex:
             from repro.index.chosen_path import ChosenPathIndex
 
             self._chosen_path = ChosenPathIndex(
-                threshold,
+                self._embedded_threshold,
                 depth=chosen_path_depth,
                 repetitions=chosen_path_repetitions,
                 seed=seed,
@@ -349,7 +413,9 @@ class SimilarityIndex:
         elif candidates == "lsh":
             from repro.index.minhash_lsh import MinHashLSHIndex
 
-            self._lsh = MinHashLSHIndex(threshold, bands=lsh_bands, rows=lsh_rows, seed=seed)
+            self._lsh = MinHashLSHIndex(
+                self._embedded_threshold, bands=lsh_bands, rows=lsh_rows, seed=seed
+            )
 
     # ------------------------------------------------------------------ construction
     @classmethod
@@ -461,6 +527,10 @@ class SimilarityIndex:
         self._records.append(normalized)
 
         self._sizes = self._append_scalar(self._sizes, record_id, len(normalized))
+        if self._measure_sizes is not None:
+            self._measure_sizes = self._append_scalar(
+                self._measure_sizes, record_id, self.measure.record_size(normalized)
+            )
         self._append_tokens(record_id, normalized)
 
         if self.use_sketches:
@@ -513,17 +583,40 @@ class SimilarityIndex:
             grown[: self._values.shape[0]] = self._values
             self._values = grown
         self._values[start:end] = tokens
+        if self._value_weights is not None:
+            if end > self._value_weights.shape[0]:
+                grown_weights = np.zeros(self._values.shape[0], dtype=np.float64)
+                grown_weights[: self._value_weights.shape[0]] = self._value_weights
+                self._value_weights = grown_weights
+            token_weight = self.measure.token_weight
+            self._value_weights[start:end] = [token_weight(token) for token in tokens]
         self._offsets[record_id + 1] = end
 
     # ------------------------------------------------------------------ queries
     def query(self, record: Sequence[int], exclude: Optional[int] = None) -> List[Match]:
-        """Indexed records with ``J(query, record) ≥ threshold``.
+        """Indexed records with ``score(query, record) ≥ threshold``.
 
         Returns ``(record_id, similarity)`` pairs sorted by decreasing
         similarity (ties by id).  ``exclude`` omits one id — used when the
         query record is itself a member of the index.
         """
         return self.query_batch([record], exclude_ids=None if exclude is None else [exclude])[0]
+
+    def query_topk(
+        self,
+        record: Sequence[int],
+        k: int,
+        floor: Optional[float] = None,
+        exclude: Optional[int] = None,
+    ) -> List[Match]:
+        """The ``k`` most similar indexed records above the index threshold.
+
+        Exactly the first ``k`` entries of :meth:`query` (which sorts by
+        decreasing similarity, ties by id), optionally cut at a per-query
+        similarity ``floor`` — a tightening of the index threshold, never a
+        relaxation.  ``k`` must be a positive integer.
+        """
+        return topk_from_matches(self.query(record, exclude=exclude), k, floor)
 
     def query_batch(
         self,
@@ -706,9 +799,22 @@ class SimilarityIndex:
         stats.filter_seconds += time.perf_counter() - started
         return block
 
+    def _measure_size_of(self, normalized: Record):
+        """Measure size of a query record (token count, or summed weights)."""
+        if self._measure_sizes is None:
+            return len(normalized)
+        return self.measure.record_size(normalized)
+
+    def _candidate_measure_sizes(self, candidate_ids: np.ndarray) -> np.ndarray:
+        """Stored measure sizes of the given record ids."""
+        if self._measure_sizes is not None:
+            return self._measure_sizes[candidate_ids]
+        return self._sizes[candidate_ids]
+
     def _filter_candidates(
         self,
         normalized: Record,
+        query_msize,
         candidate_ids: np.ndarray,
         query_words: Optional[np.ndarray],
         stats: Optional[JoinStats] = None,
@@ -718,16 +824,16 @@ class SimilarityIndex:
         Returns a boolean keep-mask aligned with ``candidate_ids`` (so
         callers can carry per-candidate payloads through the filter).
         Shared by the generic and the fused ScanCount query paths, so the
-        two can never diverge; uses the same
-        :func:`repro.backend.kernels.size_compatible_mask` /
-        :func:`repro.backend.kernels.sketch_estimates` predicates as the
-        join engine, and updates the filter timing and candidate/verified
-        counters.
+        two can never diverge; uses the measure's length-filter predicate
+        (for the default measure, exactly the join engine's
+        ``size_compatible_mask`` expression) plus the shared
+        :func:`repro.backend.kernels.sketch_estimates` kernel, and updates
+        the filter timing and candidate/verified counters.
         """
         stats = stats if stats is not None else self.stats
         started = time.perf_counter()
-        passing = size_compatible_mask(
-            len(normalized), self._sizes[candidate_ids], self.threshold
+        passing = self.measure.size_compatible(
+            query_msize, self._candidate_measure_sizes(candidate_ids), self.threshold
         )
         if self.use_sketches and passing.any():
             if query_words is None:
@@ -766,15 +872,16 @@ class SimilarityIndex:
         if candidate_ids.size == 0:
             return []
 
+        query_msize = self._measure_size_of(normalized)
         candidate_ids = candidate_ids[
-            self._filter_candidates(normalized, candidate_ids, query_words, stats)
+            self._filter_candidates(normalized, query_msize, candidate_ids, query_words, stats)
         ]
         if candidate_ids.size == 0:
             return []
 
         # Verify stage.
         started = time.perf_counter()
-        matches = self._verify_query(normalized, candidate_ids)
+        matches = self._verify_query(normalized, query_msize, candidate_ids)
         stats.verify_seconds += time.perf_counter() - started
         return sorted(matches, key=lambda item: (-item[1], item[0]))
 
@@ -803,9 +910,33 @@ class SimilarityIndex:
         # Candidate stage: merged postings -> per-record overlap counts.
         started = time.perf_counter()
         hits = self._gather_postings(normalized)
+        weighted = self._measure_sizes is not None
         if hits:
             merged = np.concatenate(hits)
-            if merged.size >= len(self._records):
+            if weighted:
+                # Weighted ScanCount: every posting contributes its token's
+                # weight instead of 1.  Candidates stay "records sharing at
+                # least one token" (presence counts), matching the scalar
+                # reference path even for zero-weight tokens.
+                token_weight = self.measure.token_weight
+                hit_weights = np.concatenate(
+                    [
+                        np.full(bucket.shape[0], token_weight(token), dtype=np.float64)
+                        for token, bucket in zip(self._posting_tokens(normalized), hits)
+                    ]
+                )
+                if merged.size >= len(self._records):
+                    present = np.bincount(merged, minlength=len(self._records))
+                    weighted_counts = np.bincount(
+                        merged, weights=hit_weights, minlength=len(self._records)
+                    )
+                    candidate_ids = np.flatnonzero(present)
+                    overlaps = weighted_counts[candidate_ids]
+                else:
+                    candidate_ids, inverse = np.unique(merged, return_inverse=True)
+                    overlaps = np.zeros(candidate_ids.shape[0], dtype=np.float64)
+                    np.add.at(overlaps, inverse, hit_weights)
+            elif merged.size >= len(self._records):
                 # Dense query (postings dominate the index size): an O(L + n)
                 # bincount beats sorting the merge.
                 counts = np.bincount(merged, minlength=len(self._records))
@@ -817,7 +948,7 @@ class SimilarityIndex:
                 candidate_ids, overlaps = np.unique(merged, return_counts=True)
         else:
             candidate_ids = np.zeros(0, dtype=np.intp)
-            overlaps = np.zeros(0, dtype=np.int64)
+            overlaps = np.zeros(0, dtype=np.float64 if weighted else np.int64)
         if exclude is not None and candidate_ids.size:
             keep = candidate_ids != exclude
             candidate_ids, overlaps = candidate_ids[keep], overlaps[keep]
@@ -826,14 +957,15 @@ class SimilarityIndex:
         if candidate_ids.size == 0:
             return []
 
-        mask = self._filter_candidates(normalized, candidate_ids, query_words, stats)
+        query_msize = self._measure_size_of(normalized)
+        mask = self._filter_candidates(normalized, query_msize, candidate_ids, query_words, stats)
         candidate_ids, overlaps = candidate_ids[mask], overlaps[mask]
         if candidate_ids.size == 0:
             return []
 
         # Verify stage: the overlaps are already exact.
         started = time.perf_counter()
-        matches = self._accept_matches(len(normalized), candidate_ids, overlaps)
+        matches = self._accept_matches(query_msize, candidate_ids, overlaps)
         stats.verify_seconds += time.perf_counter() - started
         return sorted(matches, key=lambda item: (-item[1], item[0]))
 
@@ -846,19 +978,25 @@ class SimilarityIndex:
             if bucket is not None
         ]
 
+    def _posting_tokens(self, normalized: Record) -> List[int]:
+        """The query tokens present in the index, aligned with :meth:`_gather_postings`."""
+        postings = self._postings
+        return [token for token in normalized if token in postings]
+
     def _accept_matches(
-        self, query_size: int, candidate_ids: np.ndarray, overlaps: np.ndarray
+        self, query_msize, candidate_ids: np.ndarray, overlaps: np.ndarray
     ) -> List[Match]:
         """Accept candidates from exact intersection sizes (shared verify tail).
 
-        Applies the integer overlap bound and converts surviving overlaps to
-        exact Jaccard similarities; used by both vectorized verify paths so
-        acceptance and tie-breaking can never diverge.
+        Applies the measure's required-overlap bound and converts surviving
+        overlaps to exact similarities; used by both vectorized verify paths
+        so acceptance and tie-breaking can never diverge.
         """
-        required = required_overlaps(query_size, self._sizes[candidate_ids], self._overlap_ratio)
+        candidate_msizes = self._candidate_measure_sizes(candidate_ids)
+        required = self.measure.required_overlaps(query_msize, candidate_msizes, self.threshold)
         accepted = overlaps >= required
-        similarities = overlap_jaccard(
-            query_size, self._sizes[candidate_ids][accepted], overlaps[accepted]
+        similarities = self.measure.similarities_from_overlaps(
+            query_msize, candidate_msizes[accepted], overlaps[accepted]
         )
         return [
             (int(record_id), float(similarity))
@@ -877,17 +1015,37 @@ class SimilarityIndex:
             found = self._lsh.candidates(normalized)
         return np.asarray(sorted(found), dtype=np.intp)
 
-    def _verify_query(self, normalized: Record, candidate_ids: np.ndarray) -> List[Match]:
+    def _verify_query(
+        self, normalized: Record, query_msize, candidate_ids: np.ndarray
+    ) -> List[Match]:
         if self.backend == "numpy":
             query_tokens = np.asarray(normalized, dtype=np.int64)
-            overlaps = csr_overlaps_one_to_many(
-                query_tokens, self._values, self._offsets, self._sizes, candidate_ids
-            )
-            return self._accept_matches(len(normalized), candidate_ids, overlaps)
+            if self._value_weights is not None:
+                overlaps = csr_weighted_overlaps_one_to_many(
+                    query_tokens,
+                    self._values,
+                    self._value_weights,
+                    self._offsets,
+                    self._sizes,
+                    candidate_ids,
+                )
+            else:
+                overlaps = csr_overlaps_one_to_many(
+                    query_tokens, self._values, self._offsets, self._sizes, candidate_ids
+                )
+            return self._accept_matches(query_msize, candidate_ids, overlaps)
         matches: List[Match] = []
+        if self.measure.is_default:
+            for candidate_id in candidate_ids:
+                accepted, similarity = verify_pair_sorted(
+                    normalized, self._records[int(candidate_id)], self.threshold
+                )
+                if accepted:
+                    matches.append((int(candidate_id), similarity))
+            return matches
         for candidate_id in candidate_ids:
-            accepted, similarity = verify_pair_sorted(
-                normalized, self._records[int(candidate_id)], self.threshold
+            accepted, similarity = verify_pair_sorted_measure(
+                normalized, self._records[int(candidate_id)], self.threshold, self.measure
             )
             if accepted:
                 matches.append((int(candidate_id), similarity))
@@ -985,6 +1143,14 @@ class SimilarityIndex:
         self.__dict__.setdefault("executor", "threads")
         self.__dict__.setdefault("_query_pool", None)
         self.__dict__.setdefault("_query_pool_key", None)
+        # Version-1 indexes predate the measure abstraction: they were
+        # always plain Jaccard, with the embedded threshold equal to the
+        # query threshold and no weighted storage.
+        if "measure" not in self.__dict__:
+            self.measure = get_measure(None)
+        self.__dict__.setdefault("_embedded_threshold", self.threshold)
+        self.__dict__.setdefault("_measure_sizes", None)
+        self.__dict__.setdefault("_value_weights", None)
 
     def __iter__(self) -> Iterator[Record]:
         return iter(self._records)

@@ -73,6 +73,7 @@ def _effective_cpsjoin_config(
     backend: Optional[str],
     workers: Optional[int],
     executor: Optional[str],
+    measure=None,
 ) -> CPSJoinConfig:
     """Resolve the CPSJOIN configuration from the public API arguments.
 
@@ -90,6 +91,8 @@ def _effective_cpsjoin_config(
         overrides["workers"] = workers
     if executor is not None:
         overrides["executor"] = executor
+    if measure is not None:
+        overrides["measure"] = measure
     if overrides:
         effective = effective.with_overrides(**overrides)
     return effective
@@ -104,6 +107,7 @@ def similarity_join(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     executor: Optional[str] = None,
+    measure=None,
 ) -> JoinResult:
     """Compute the set similarity self-join of a collection.
 
@@ -140,6 +144,17 @@ def similarity_join(
         (default) or ``"processes"`` (shared-memory workers; see
         :mod:`repro.core.repetition`).  Overrides ``config.executor`` for
         cpsjoin.
+    measure:
+        Similarity measure pairs are scored under: a registered name
+        (``"jaccard"``, ``"cosine"``, ``"dice"``, ``"overlap"``,
+        ``"braun_blanquet"``, ``"containment"``), a
+        :class:`~repro.similarity.Measure` instance (possibly carrying
+        per-token weights), or ``None`` for plain Jaccard.  ``threshold`` is
+        interpreted on the measure's own scale.  The randomized algorithms
+        run their candidate generation at the measure's Jaccard floor and
+        reject measures without one (overlap / containment); the exact
+        algorithms support every registered measure.  Overrides
+        ``config.measure`` for cpsjoin.
 
     Returns
     -------
@@ -149,7 +164,16 @@ def similarity_join(
     """
     normalized = _normalize_records(records)
     return _dispatch_join(
-        normalized, threshold, algorithm, config, seed, backend, workers, executor, sides=None
+        normalized,
+        threshold,
+        algorithm,
+        config,
+        seed,
+        backend,
+        workers,
+        executor,
+        sides=None,
+        measure=measure,
     )
 
 
@@ -163,11 +187,12 @@ def _dispatch_join(
     workers: Optional[int],
     executor: Optional[str],
     sides: Optional[Sequence[int]],
+    measure=None,
 ) -> JoinResult:
     """Run one algorithm on already normalized records (optionally side-aware)."""
     name = algorithm.lower()
     if name == "cpsjoin":
-        effective = _effective_cpsjoin_config(config, seed, backend, workers, executor)
+        effective = _effective_cpsjoin_config(config, seed, backend, workers, executor, measure)
         return CPSJoin(threshold, effective).join(normalized, sides=sides)
     if name == "minhash":
         return MinHashLSHJoin(
@@ -176,10 +201,16 @@ def _dispatch_join(
             backend=backend,
             workers=1 if workers is None else workers,
             executor=executor,
+            measure=measure,
         ).join(normalized, sides=sides)
     if name == "bayeslsh":
         return BayesLSHJoin(
-            threshold, seed=seed, backend=backend, workers=workers, executor=executor
+            threshold,
+            seed=seed,
+            backend=backend,
+            workers=workers,
+            executor=executor,
+            measure=measure,
         ).join(normalized, sides=sides)
     if sides is not None:
         raise ValueError(
@@ -187,11 +218,11 @@ def _dispatch_join(
             f"expected one of {NATIVE_RS_ALGORITHMS}"
         )
     if name == "allpairs":
-        return AllPairsJoin(threshold).join(normalized)
+        return AllPairsJoin(threshold, measure=measure).join(normalized)
     if name == "ppjoin":
-        return PPJoin(threshold).join(normalized)
+        return PPJoin(threshold, measure=measure).join(normalized)
     if name == "naive":
-        return naive_join(normalized, threshold)
+        return naive_join(normalized, threshold, measure=measure)
     raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
 
 
@@ -206,6 +237,7 @@ def similarity_join_rs(
     workers: Optional[int] = None,
     executor: Optional[str] = None,
     native: bool = True,
+    measure=None,
 ) -> JoinResult:
     """Compute the R ⋈ S similarity join of two collections.
 
@@ -244,7 +276,16 @@ def similarity_join_rs(
     if native and name in NATIVE_RS_ALGORITHMS:
         sides = [0] * split + [1] * len(normalized_right)
         union_result = _dispatch_join(
-            union, threshold, algorithm, config, seed, backend, workers, executor, sides=sides
+            union,
+            threshold,
+            algorithm,
+            config,
+            seed,
+            backend,
+            workers,
+            executor,
+            sides=sides,
+            measure=measure,
         )
         # Every reported pair is cross-side by construction: (i, j) with
         # i < split <= j in union indexing maps to (i, j - split).
@@ -254,7 +295,16 @@ def similarity_join_rs(
         extra["same_side_verified"] = 0.0
     else:
         union_result = _dispatch_join(
-            union, threshold, algorithm, config, seed, backend, workers, executor, sides=None
+            union,
+            threshold,
+            algorithm,
+            config,
+            seed,
+            backend,
+            workers,
+            executor,
+            sides=None,
+            measure=measure,
         )
         cross_pairs: Set[Tuple[int, int]] = set()
         for first, second in union_result.pairs:

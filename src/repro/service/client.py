@@ -128,6 +128,25 @@ class ServiceClient:
         result = self.call({"op": "query", "record": [int(token) for token in record]})
         return decode_matches(result["matches"])
 
+    def query_topk(
+        self, record: Sequence[int], k: int, floor: Optional[float] = None
+    ) -> List[Match]:
+        """The ``k`` best matches — the first ``k`` entries of :meth:`query`.
+
+        ``floor`` optionally cuts the list at the first match whose
+        similarity falls below it (a per-query tightening of the server's
+        index threshold).
+        """
+        message: Dict[str, Any] = {
+            "op": "query_topk",
+            "record": [int(token) for token in record],
+            "k": int(k),
+        }
+        if floor is not None:
+            message["floor"] = float(floor)
+        result = self.call(message)
+        return decode_matches(result["matches"])
+
     def query_batch(self, records: Sequence[Sequence[int]]) -> List[List[Match]]:
         """One round trip for many lookups; one match list per query."""
         result = self.call(

@@ -12,8 +12,14 @@ Request shapes (``id`` optional everywhere)::
     {"id": 7, "op": "query",       "record": [1, 2, 3]}
     {"id": 8, "op": "query_batch", "records": [[1, 2], [3, 4]]}
     {"id": 9, "op": "insert",      "record": [5, 6, 7]}
+    {"id": 3, "op": "query_topk",  "record": [1, 2, 3], "k": 5, "floor": 0.8}
     {"op": "stats"}
     {"op": "health"}
+
+``query_topk`` returns the first ``k`` matches of the corresponding
+``query`` (which sorts by decreasing similarity, ties by id); the optional
+numeric ``floor`` additionally cuts the list at the first match below it.
+``k`` must be a positive integer.
 
 Responses::
 
@@ -55,7 +61,7 @@ __all__ = [
 
 Match = Tuple[int, float]
 
-OPERATIONS = ("query", "query_batch", "insert", "stats", "health")
+OPERATIONS = ("query", "query_batch", "query_topk", "insert", "stats", "health")
 """Operations a server must answer."""
 
 MAX_LINE_BYTES = 32 * 1024 * 1024
@@ -113,10 +119,23 @@ def parse_request(message: Dict[str, Any]) -> Dict[str, Any]:
     if request_id is not None and not isinstance(request_id, (int, str)):
         raise ProtocolError("request id must be an integer or a string")
     request: Dict[str, Any] = {"op": operation, "id": request_id}
-    if operation in ("query", "insert"):
+    if operation in ("query", "insert", "query_topk"):
         if "record" not in message:
             raise ProtocolError(f"operation {operation!r} requires a 'record' field")
         request["record"] = _record_tokens(message["record"], "'record'")
+        if operation == "query_topk":
+            k = message.get("k")
+            if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+                raise ProtocolError(
+                    "operation 'query_topk' requires a positive integer 'k'"
+                )
+            request["k"] = k
+            floor = message.get("floor")
+            if floor is not None and (
+                isinstance(floor, bool) or not isinstance(floor, (int, float))
+            ):
+                raise ProtocolError("'floor' must be a number")
+            request["floor"] = None if floor is None else float(floor)
     elif operation == "query_batch":
         records = message.get("records")
         if not isinstance(records, (list, tuple)):

@@ -48,7 +48,11 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.index.similarity_index import SimilarityIndex, normalized_tokens
+from repro.index.similarity_index import (
+    SimilarityIndex,
+    normalized_tokens,
+    topk_from_matches,
+)
 from repro.service.admission import AdmissionGate, ServerOverloadedError
 from repro.service.coalescer import QueryCoalescer
 from repro.service.protocol import (
@@ -69,7 +73,7 @@ __all__ = ["SimilarityServer", "ServerHandle", "serve_in_thread"]
 Record = Tuple[int, ...]
 IndexFactory = Callable[[], SimilarityIndex]
 
-GATED_OPERATIONS = frozenset({"query", "query_batch", "insert"})
+GATED_OPERATIONS = frozenset({"query", "query_batch", "query_topk", "insert"})
 """Operations that cost index work and therefore pass admission control.
 
 ``stats`` and ``health`` stay ungated on purpose: they are how operators
@@ -585,6 +589,15 @@ class SimilarityServer:
             record = _normalize_record(request["record"], "query with")
             matches = await self._coalescer.submit(record)
             return {"matches": encode_matches(matches)}
+        if operation == "query_topk":
+            # Rides the same coalescer as plain queries (top-k requests
+            # batch with everything else); the truncation is the shared
+            # topk_from_matches rule, so the answer is by construction the
+            # prefix of the corresponding threshold query.
+            record = _normalize_record(request["record"], "query with")
+            matches = await self._coalescer.submit(record)
+            top = topk_from_matches(matches, request["k"], request["floor"])
+            return {"matches": encode_matches(top)}
         if operation == "query_batch":
             records = [
                 _normalize_record(tokens, "query with") for tokens in request["records"]
@@ -621,6 +634,7 @@ class SimilarityServer:
             return {
                 "records": len(index),
                 "threshold": index.threshold,
+                "measure": index.measure.name,
                 "candidates": index.candidates,
                 "backend": index.backend,
                 "index": index.stats.as_dict(),

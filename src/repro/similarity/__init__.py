@@ -2,21 +2,33 @@
 
 from repro.similarity.embedding import LSHableEmbedding, embed_collection
 from repro.similarity.measures import (
+    MEASURE_NAMES,
+    Measure,
     braun_blanquet_similarity,
+    containment,
     cosine_similarity,
     dice_similarity,
+    get_measure,
     jaccard_similarity,
     overlap_coefficient,
     overlap_size,
     required_overlap_for_jaccard,
     SIMILARITY_MEASURES,
 )
-from repro.similarity.verify import verify_pair, verify_pair_sorted
+from repro.similarity.verify import (
+    verify_pair,
+    verify_pair_sorted,
+    verify_pair_sorted_measure,
+)
 
 __all__ = [
     "LSHableEmbedding",
     "embed_collection",
+    "Measure",
+    "MEASURE_NAMES",
+    "get_measure",
     "braun_blanquet_similarity",
+    "containment",
     "cosine_similarity",
     "dice_similarity",
     "jaccard_similarity",
@@ -26,4 +38,5 @@ __all__ = [
     "SIMILARITY_MEASURES",
     "verify_pair",
     "verify_pair_sorted",
+    "verify_pair_sorted_measure",
 ]

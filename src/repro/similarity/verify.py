@@ -9,11 +9,16 @@ the required overlap can no longer be reached (positional early termination).
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
-from repro.similarity.measures import required_overlap_for_jaccard
+from repro.similarity.measures import Measure, required_overlap_for_jaccard
 
-__all__ = ["verify_pair", "verify_pair_sorted", "overlap_sorted"]
+__all__ = [
+    "verify_pair",
+    "verify_pair_sorted",
+    "verify_pair_sorted_measure",
+    "overlap_sorted",
+]
 
 
 def overlap_sorted(first: Sequence[int], second: Sequence[int]) -> int:
@@ -94,6 +99,60 @@ def verify_pair_sorted(
 
     union = len_first + len_second - overlap
     similarity = overlap / union if union else 1.0
+    return overlap >= required, similarity
+
+
+def verify_pair_sorted_measure(
+    first: Sequence[int],
+    second: Sequence[int],
+    threshold: float,
+    measure: Measure,
+    weight_of: Optional[Callable[[int], float]] = None,
+) -> Tuple[bool, float]:
+    """Measure-aware verification of two sorted records (scalar reference).
+
+    The generic counterpart of :func:`verify_pair_sorted`: sizes and the
+    overlap are computed in the measure's weighting (a plain merge — no
+    early termination; this is the reference semantics the vectorized
+    paths are checked against), acceptance uses the measure's
+    ``required_overlap`` bound and the returned similarity is the
+    measure's true score.
+
+    Parameters
+    ----------
+    first, second:
+        Sorted token sequences.
+    threshold:
+        Similarity threshold ``λ`` on the measure's own scale.
+    measure:
+        The :class:`~repro.similarity.measures.Measure` to verify under.
+    weight_of:
+        Optional token-weight override — the exact joins verify records in
+        their frequency-rank token domain and pass a rank→weight lookup
+        here; defaults to ``measure.token_weight``.
+    """
+    if measure.weighted or weight_of is not None:
+        get_weight = weight_of if weight_of is not None else measure.token_weight
+        size_first = sum(get_weight(token) for token in first)
+        size_second = sum(get_weight(token) for token in second)
+        i, j, overlap = 0, 0, 0.0
+        len_first, len_second = len(first), len(second)
+        while i < len_first and j < len_second:
+            token_first = first[i]
+            token_second = second[j]
+            if token_first == token_second:
+                overlap += get_weight(token_first)
+                i += 1
+                j += 1
+            elif token_first < token_second:
+                i += 1
+            else:
+                j += 1
+    else:
+        size_first, size_second = len(first), len(second)
+        overlap = overlap_sorted(first, second)
+    required = measure.required_overlap(size_first, size_second, threshold)
+    similarity = measure.similarity_from_overlap(size_first, size_second, overlap)
     return overlap >= required, similarity
 
 

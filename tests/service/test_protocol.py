@@ -54,6 +54,9 @@ class TestParseRequest:
         message = {"op": operation}
         if operation in ("query", "insert"):
             message["record"] = [1]
+        elif operation == "query_topk":
+            message["record"] = [1]
+            message["k"] = 3
         elif operation == "query_batch":
             message["records"] = [[1]]
         assert parse_request(message)["op"] == operation
