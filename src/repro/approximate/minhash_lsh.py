@@ -34,6 +34,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend.kernels import group_rows_first_occurrence
 from repro.core.preprocess import PreprocessedCollection, preprocess_collection
 from repro.engine import CandidateStage, JoinEngine, SubsetCandidates, Task
 from repro.result import JoinResult, JoinStats, Timer
@@ -84,7 +85,11 @@ class MinHashBucketStage(CandidateStage):
     def tasks(self) -> Iterator[Task]:
         for coordinates in self.coordinate_rounds:
             for bucket in self.join._bucketize(self.collection, coordinates):
-                yield SubsetCandidates(tuple(bucket))
+                # Vectorized bucketing yields index arrays, the dict loop
+                # yields lists; the filter stages accept either payload.
+                yield SubsetCandidates(
+                    bucket if isinstance(bucket, np.ndarray) else tuple(bucket)
+                )
             if self.count_repetitions:
                 self.stats.repetitions += 1
 
@@ -356,13 +361,28 @@ class MinHashLSHJoin:
 
     def _bucketize(
         self, collection: PreprocessedCollection, coordinates: np.ndarray
-    ) -> List[List[int]]:
-        """Split the collection into buckets keyed by the concatenated MinHash values."""
+    ) -> Sequence[Sequence[int]]:
+        """Split the collection into buckets keyed by the concatenated MinHash values.
+
+        On the numpy backend the grouping runs column-wise through
+        :func:`repro.backend.kernels.group_rows_first_occurrence` — one
+        stable multi-column lexsort instead of hashing one row tuple per
+        record — and returns index arrays.  The dict loop below is the
+        reference semantics; both produce the identical bucket sequence
+        (first-occurrence bucket order, members in record order, buckets of
+        fewer than two records dropped).
+        """
         keys = collection.signatures.matrix[:, coordinates]
+        if self._vectorized_bucketize():
+            return group_rows_first_occurrence(keys, min_size=2)
         groups: Dict[Tuple[int, ...], List[int]] = defaultdict(list)
         for record_id in range(collection.num_records):
             groups[tuple(int(value) for value in keys[record_id])].append(record_id)
         return [bucket for bucket in groups.values() if len(bucket) >= 2]
+
+    def _vectorized_bucketize(self) -> bool:
+        """Whether bucketing may use the column-wise grouping kernel."""
+        return self.backend is not None and str(self.backend).lower() == "numpy"
 
 
 def minhash_lsh_join(

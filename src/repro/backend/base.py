@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.backend.kernels import sketch_estimates
 from repro.core.preprocess import PreprocessedCollection
-from repro.hashing.sketch import _HAS_BITWISE_COUNT, popcount_rows
+from repro.hashing.sketch import popcount_rows
 from repro.result import canonical_pair
 from repro.similarity.measures import Measure, get_measure
 
@@ -88,6 +88,11 @@ class ExecutionBackend(ABC):
         # pre_candidates / candidates / verified only ever count cross-side
         # work and same-side candidates never reach verification.
         self.sides = collection.sides
+        # Lazily built unpacked sketch-bit matrix for the sampled
+        # average-similarity estimator (see average_similarity_sampled).
+        self._sketch_bits: "np.ndarray | None" = None
+        self._sketch_bytes: "np.ndarray | None" = None
+        self._sketch_bits_built = False
 
     # ------------------------------------------------------------------ filtering
     def sketch_estimate_one_to_many(self, record_id: int, others: np.ndarray) -> np.ndarray:
@@ -263,38 +268,87 @@ class ExecutionBackend(ABC):
             averages += (counts[inverse] - 1) / num_functions
         return averages / (num_records - 1)
 
+    def _sketch_bits_matrix(self) -> "np.ndarray | None":
+        """Per-record sketch bits as a float32 (n, num_bits) matrix (or None).
+
+        Cached on the collection (shared by every repetition's backend); the
+        matvec identity below turns the per-node estimator of the adaptive
+        rule from ``m`` XOR/popcount passes over the subset words into a
+        single BLAS pass over the subset bits.  Collections whose bit matrix
+        would exceed the collection's memory budget fall back to the word
+        loop (None).
+        """
+        if not self._sketch_bits_built:
+            self._sketch_bits_built = True
+            self._sketch_bits = self.collection.sketch_bit_matrix()
+            if self._sketch_bits is not None:
+                self._sketch_bytes = np.ascontiguousarray(
+                    self.collection.sketches.words
+                ).view(np.uint8)
+        return self._sketch_bits
+
     def average_similarity_sampled(
         self, subset: List[int], sample_size: int, rng: np.random.Generator
     ) -> np.ndarray:
-        """Sampled sketch estimate of the average similarity (Section V-A.4)."""
+        """Sampled sketch estimate of the average similarity (Section V-A.4).
+
+        The summed Hamming distance of a sketch ``x`` against the ``m``
+        sampled sketches decomposes bit-wise:
+
+        ``Σ_s popcount(x ^ s) = Σ_b c_b + Σ_{b : x_b = 1} (m - 2 c_b)``
+
+        with ``c_b`` the number of sampled sketches with bit ``b`` set.  The
+        second term is a dot product of the record's unpacked bits against a
+        per-bit weight vector, so the whole subset reduces to one matrix ×
+        vector product over the cached bit matrix.  All intermediate values
+        are small integers (≤ ``m · num_bits``), exactly representable in
+        float32, so the totals — and therefore the returned averages — are
+        bit-for-bit identical to the XOR/popcount word loop used as the
+        large-collection fallback.
+        """
         sketches = self.collection.sketches
         subset_array = np.asarray(subset, dtype=np.intp)
         sample_count = min(sample_size, len(subset))
-        sample = rng.choice(subset_array, size=sample_count, replace=False)
+        # Sampling positions (not record ids) draws the identical sample —
+        # Generator.choice on an array samples indices into it — and makes
+        # the self-term correction below a direct index instead of a value
+        # lookup over the whole subset.
+        positions = rng.choice(len(subset_array), size=sample_count, replace=False)
+        sample = subset_array[positions]
 
-        subset_words = sketches.words[subset_array]  # (|S|, ℓ)
-        sample_words = sketches.words[sample]  # (m, ℓ)
-        # XOR every subset sketch against every sampled sketch and popcount.
-        # Iterating over the (at most ``sample_size``) sampled sketches keeps
-        # the temporaries at |S| × ℓ words instead of materializing the full
-        # |S| × m × ℓ broadcast; the resulting distance matrix is identical.
-        distances = np.empty((len(subset), sample_count), dtype=np.int64)
-        if _HAS_BITWISE_COUNT:
-            buffer = np.empty_like(subset_words)
-            for column, sample_row in enumerate(sample_words):
-                np.bitwise_xor(subset_words, sample_row, out=buffer)
-                np.bitwise_count(buffer, out=buffer)
-                buffer.sum(axis=1, dtype=np.int64, out=distances[:, column])
+        bits = self._sketch_bits_matrix()
+        if bits is not None:
+            # Gather the packed sample bytes (ℓ·8 per sketch, 32× less
+            # traffic than the float32 rows) and count column bits there.
+            sample_bits = np.unpackbits(self._sketch_bytes[sample], axis=1)
+            column_counts = sample_bits.sum(axis=0, dtype=np.int64)  # c_b
+            weights = (sample_count - 2.0 * column_counts).astype(np.float32)
+            if subset_array.size * 4 >= bits.shape[0]:
+                # Near-root subproblems: one gemv over the whole matrix beats
+                # gathering most of its rows first.  Identical totals either
+                # way — every row dot is the same exact small-integer sum.
+                totals = (bits @ weights)[subset_array]
+            else:
+                # Gather the packed bytes (ℓ·8 per record) and unpack just the
+                # subset — 32× less random-access traffic than gathering the
+                # float32 rows, for the same exact bit values.
+                subset_bits = np.unpackbits(self._sketch_bytes[subset_array], axis=1)
+                totals = subset_bits.astype(np.float32) @ weights  # exact: sums ≤ m·num_bits < 2^24
+            totals = totals.astype(np.float64) + float(column_counts.sum(dtype=np.float64))
         else:
-            for column, sample_row in enumerate(sample_words):
-                distances[:, column] = popcount_rows(subset_words ^ sample_row)
-        estimates = 1.0 - 2.0 * distances / sketches.num_bits
+            subset_words = sketches.words[subset_array]  # (|S|, ℓ)
+            sample_words = sketches.words[sample]  # (m, ℓ)
+            # Iterating over the (at most ``sample_size``) sampled sketches
+            # keeps the temporaries at |S| × ℓ words instead of materializing
+            # the full |S| × m × ℓ broadcast.
+            totals = np.zeros(len(subset), dtype=np.int64)
+            for sample_row in sample_words:
+                totals += popcount_rows(subset_words ^ sample_row)
+            totals = totals.astype(np.float64)
+        averages = 1.0 - 2.0 * totals / (sample_count * sketches.num_bits)
 
-        # A record may appear in its own sample; correct the mean by removing
-        # the (similarity = 1) self term where present.
-        sample_set = {int(record_id) for record_id in sample}
-        averages = estimates.mean(axis=1)
-        for position, record_id in enumerate(subset):
-            if int(record_id) in sample_set and sample_count > 1:
-                averages[position] = (averages[position] * sample_count - 1.0) / (sample_count - 1)
+        # A sampled record sees itself in its own sample; remove the
+        # (similarity = 1) self term from its mean.
+        if sample_count > 1:
+            averages[positions] = (averages[positions] * sample_count - 1.0) / (sample_count - 1)
         return averages

@@ -23,6 +23,7 @@ from repro.hashing.sketch import popcount_rows
 __all__ = [
     "csr_overlaps_one_to_many",
     "csr_weighted_overlaps_one_to_many",
+    "group_rows_first_occurrence",
     "overlap_jaccard",
     "required_overlaps",
     "size_compatible_mask",
@@ -161,6 +162,47 @@ def required_overlaps(
     """
     sums = query_size + np.asarray(other_sizes)
     return np.ceil(overlap_ratio * sums - 1e-9).astype(np.int64)
+
+
+def group_rows_first_occurrence(keys: np.ndarray, min_size: int = 1) -> "list[np.ndarray]":
+    """Group the rows of a key matrix by identical key tuples, column-wise.
+
+    ``keys`` is ``(n, k)``; rows whose entire key tuple matches land in the
+    same group.  The output order is bit-identical to the insertion-ordered
+    dict loop it replaces: groups appear in order of their first occurring
+    row, members within a group in ascending row order; groups smaller than
+    ``min_size`` are dropped.  ``k = 0`` keys put every row in one group.
+
+    The pass is a single multi-column stable lexsort plus boundary scans —
+    no Python-level hashing of row tuples.
+    """
+    keys = np.asarray(keys)
+    num_rows = keys.shape[0]
+    if num_rows == 0:
+        return []
+    if keys.ndim != 2:
+        raise ValueError("keys must be a 2-D (rows, columns) array")
+    if keys.shape[1] == 0:
+        all_rows = np.arange(num_rows, dtype=np.intp)
+        return [all_rows] if num_rows >= min_size else []
+    # Last lexsort key is primary, so feed the columns right-to-left; the
+    # sort is stable, leaving equal rows in ascending row order.
+    order = np.lexsort(keys.T[::-1]).astype(np.intp, copy=False)
+    sorted_keys = keys[order]
+    boundary = np.empty(num_rows, dtype=bool)
+    boundary[0] = True
+    np.any(sorted_keys[1:] != sorted_keys[:-1], axis=1, out=boundary[1:])
+    group_starts = np.flatnonzero(boundary)
+    group_counts = np.diff(group_starts, append=num_rows)
+    keep = group_counts >= min_size
+    # First-occurrence order: a group's first member is its smallest row
+    # index (stable sort), so sorting groups by that index reproduces the
+    # insertion order of the scalar dict loop.
+    first_rows = order[group_starts[keep]]
+    emit = np.argsort(first_rows, kind="stable")
+    starts = group_starts[keep][emit]
+    counts = group_counts[keep][emit]
+    return [order[start : start + count] for start, count in zip(starts.tolist(), counts.tolist())]
 
 
 def overlap_jaccard(query_size: int, other_sizes: np.ndarray, overlaps: np.ndarray) -> np.ndarray:

@@ -29,7 +29,7 @@ Python:
   (``table1``, ``table2``, ``figure2``, ``figure3``, ``table4``,
   ``tokens``, ``ablation-stopping``, ``ablation-sketches``,
   ``backend-bench``, ``rs-bench``, ``index-bench``, ``parallel-bench``,
-  ``serve-bench``).
+  ``candidate-bench``, ``serve-bench``).
 
 Examples::
 
@@ -333,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
             "rs-bench",
             "index-bench",
             "parallel-bench",
+            "candidate-bench",
             "serve-bench",
         ],
     )
@@ -630,6 +631,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         ablation_sketches,
         ablation_stopping,
         backend_bench,
+        candidate_bench,
         figure2,
         figure3,
         index_bench,
@@ -673,6 +675,8 @@ def _command_experiment(args: argparse.Namespace) -> int:
         # opt-in via `python -m repro.experiments.parallel_bench --out-json`
         # or scripts/run_experiments.py.
         print(format_table(parallel_bench.run(scale=args.scale, seed=args.seed, out_json=None)))
+    elif name == "candidate-bench":
+        print(format_table(candidate_bench.run(scale=args.scale, seed=args.seed, out_json=None)))
     elif name == "serve-bench":
         print(format_table(serve_bench.run(scale=args.scale, seed=args.seed, out_json=None)))
     return 0

@@ -123,7 +123,11 @@ class BruteForcer:
 
     # ------------------------------------------------------------------ average similarity
     def average_similarities(
-        self, subset: Sequence[int], method: str = "sketches", sample_size: int = 64
+        self,
+        subset: Sequence[int],
+        method: str = "sketches",
+        sample_size: int = 64,
+        rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
         """Estimated average similarity of each record in ``subset`` to the others.
 
@@ -136,12 +140,19 @@ class BruteForcer:
         ``method="sketches"`` is the paper's fast variant (Section V-A.4):
         the average is estimated against a random sample of the subproblem
         using the 1-bit sketches, at cost ``O(ℓ · sample)`` per record.
+
+        ``rng`` overrides the sampling generator for one call; the CPSJOIN
+        candidate stage passes a per-node generator here so the estimate at a
+        tree node is a pure function of the node's identity, independent of
+        the order the walk visits nodes in.
         """
-        subset = list(subset)
-        if len(subset) < 2:
-            return np.zeros(len(subset))
+        subset = np.asarray(subset, dtype=np.intp)
+        if subset.size < 2:
+            return np.zeros(subset.size)
         if method == "tokens":
             return self.backend.average_similarity_exact(subset)
         if method == "sketches":
-            return self.backend.average_similarity_sampled(subset, sample_size, self.rng)
+            return self.backend.average_similarity_sampled(
+                subset, sample_size, self.rng if rng is None else rng
+            )
         raise ValueError(f"unknown average method: {method!r}")

@@ -24,6 +24,15 @@ sketch-filter and verify stages in memory-bounded batches.  Verification
 never feeds back into the recursion and consumes no randomness, so the
 staged run is bit-for-bit identical to the historical fused loop.
 
+The tree walk itself comes in two interchangeable implementations selected
+by ``config.candidate_walk``: the scalar depth-first recursion in this
+module (the readable reference) and the level-synchronous array frontier of
+:mod:`repro.core.frontier` (the fast path, default on the numpy backend).
+Node randomness is seeded *per node* — one entropy draw per repetition, then
+counter-based node keys along the tree edges and path-seeded estimator
+generators (see the frontier module docstring) — so both walks emit the
+identical task stream at any seed.
+
 For the ablation of Section IV-C.5 the stage also implements the ``global``
 and ``individual`` stopping strategies, which replace the adaptive rule with a
 fixed recursion depth (one global depth, or one depth per record estimated
@@ -44,6 +53,14 @@ import numpy as np
 
 from repro.core.bruteforce import BruteForcer
 from repro.core.config import CPSJoinConfig
+from repro.core.frontier import (
+    child_node_keys,
+    chosen_split_coordinates,
+    estimator_rng,
+    frontier_tasks,
+    resolve_candidate_walk,
+    root_node_key,
+)
 from repro.core.preprocess import PreprocessedCollection, preprocess_collection
 from repro.engine import CandidateStage, JoinEngine, PointCandidates, SubsetCandidates, Task
 from repro.result import JoinResult, JoinStats, Timer
@@ -56,11 +73,14 @@ _SEED_STREAM = 7919
 
 
 class ChosenPathCandidateStage(CandidateStage):
-    """Candidate stage of CPSJOIN: the Chosen Path Tree recursion.
+    """Candidate stage of CPSJOIN: the Chosen Path Tree walk.
 
-    Walks the recursion exactly as the historical driver did — same
-    randomness consumption, same statistics counters — but *yields* the
-    subproblems to brute-force instead of verifying them inline.
+    The repetition generator is consumed exactly once — for the walk's
+    ``root_entropy`` — and every node's randomness (split coordinates,
+    estimator samples) is derived from the node's identity (see
+    :mod:`repro.core.frontier`).  ``config.candidate_walk`` picks the
+    traversal: the scalar depth-first recursion implemented here, or the
+    level-synchronous array frontier; both yield the identical task stream.
     """
 
     def __init__(
@@ -75,6 +95,7 @@ class ChosenPathCandidateStage(CandidateStage):
         self.collection = collection
         self.rng = rng
         self.stats = stats
+        self.root_entropy = 0
         # The estimator drives the adaptive rule; it shares the engine's
         # backend instance so token packing happens once per collection.
         self.estimator = BruteForcer(
@@ -90,28 +111,46 @@ class ChosenPathCandidateStage(CandidateStage):
     # ------------------------------------------------------------------ entry
     def tasks(self) -> Iterator[Task]:
         config = self.join.config
+        # The single draw that fixes the whole tree's randomness: node keys
+        # and estimator streams are pure functions of (root_entropy, path).
+        self.root_entropy = int(self.rng.integers(0, 1 << 63))
+        walk = resolve_candidate_walk(config.candidate_walk, self.estimator.backend.name)
+        if walk == "frontier":
+            yield from frontier_tasks(self)
+            return
         all_records = list(range(self.collection.num_records))
+        root_key = root_node_key(self.root_entropy)
         if config.stopping == "adaptive":
-            yield from self._adaptive(all_records, 0)
+            yield from self._adaptive(all_records, 0, root_key)
         elif config.stopping == "global":
             depth = self.join._global_depth(self.collection.num_records)
-            yield from self._fixed_depth(all_records, 0, depth)
+            yield from self._fixed_depth(all_records, 0, depth, root_key)
         else:  # individual
             depth_values = self.join._individual_depths(all_records, self.estimator)
             depths = {record_id: int(depth) for record_id, depth in zip(all_records, depth_values)}
-            yield from self._individual(all_records, 0, depths)
+            yield from self._individual(all_records, 0, depths, root_key)
 
     # ------------------------------------------------------------------ node bookkeeping
     def _enter_node(self, depth: int) -> None:
-        extra = self.stats.extra
-        extra["tree_nodes"] = extra.get("tree_nodes", 0.0) + 1.0
-        extra["max_depth"] = max(extra.get("max_depth", 0.0), float(depth))
+        self.stats.add_extra("tree_nodes")
+        self.stats.max_extra("max_depth", float(depth))
+
+    def _children(self, subset: List[int], node_key: int) -> Iterator[tuple]:
+        """Buckets of a node paired with their child node keys, in rank order."""
+        buckets = self.join._split(subset, self.collection, node_key)
+        if not buckets:
+            return
+        keys = child_node_keys(
+            np.full(len(buckets), node_key, dtype=np.uint64), np.arange(len(buckets))
+        )
+        for rank, bucket in enumerate(buckets):
+            yield rank, bucket, int(keys[rank])
 
     # ------------------------------------------------------------------ adaptive strategy (the paper's)
-    def _adaptive(self, subset: List[int], depth: int) -> Iterator[Task]:
+    def _adaptive(self, subset: List[int], depth: int, node_key: int) -> Iterator[Task]:
         """One node of the Chosen Path Tree under the adaptive stopping rule."""
         self._enter_node(depth)
-        subset = yield from self._brute_force_step(subset)
+        subset = yield from self._brute_force_step(subset, node_key)
         if len(subset) < 2:
             return
         if depth >= self.join.config.max_depth:
@@ -119,10 +158,10 @@ class ChosenPathCandidateStage(CandidateStage):
             # finish any unexpectedly deep branch exactly.
             yield SubsetCandidates(tuple(subset))
             return
-        for bucket in self.join._split(subset, self.collection, self.rng):
-            yield from self._adaptive(bucket, depth + 1)
+        for _rank, bucket, child_key in self._children(subset, node_key):
+            yield from self._adaptive(bucket, depth + 1, child_key)
 
-    def _brute_force_step(self, subset: List[int]) -> Iterator[Task]:
+    def _brute_force_step(self, subset: List[int], node_key: int) -> Iterator[Task]:
         """The BRUTEFORCE step (Algorithm 2): returns the records that keep branching.
 
         Small subproblems are finished exactly (returning an empty list stops
@@ -136,17 +175,21 @@ class ChosenPathCandidateStage(CandidateStage):
         stats = self.stats
         if len(subset) <= join.config.limit:
             yield SubsetCandidates(tuple(subset))
-            stats.extra["bruteforce_pairs_calls"] = stats.extra.get("bruteforce_pairs_calls", 0.0) + 1.0
+            stats.add_extra("bruteforce_pairs_calls")
             return []
 
-        averages = self.estimator.average_similarities(subset, method=join.config.average_method)
+        averages = self.estimator.average_similarities(
+            subset,
+            method=join.config.average_method,
+            rng=estimator_rng(node_key),
+        )
         # The estimates live in embedded-Jaccard space, so the adaptive rule
         # compares against the embedded threshold (identical to λ for the
         # default measure).
         cutoff = (1.0 - join.config.epsilon) * join.embedded_threshold
         to_remove = [record_id for record_id, average in zip(subset, averages) if average > cutoff]
         if to_remove:
-            stats.extra["bruteforce_point_calls"] = stats.extra.get("bruteforce_point_calls", 0.0) + float(len(to_remove))
+            stats.add_extra("bruteforce_point_calls", float(len(to_remove)))
             removed_set = set(to_remove)
             for record_id in to_remove:
                 others = tuple(other for other in subset if other != record_id)
@@ -157,12 +200,14 @@ class ChosenPathCandidateStage(CandidateStage):
             # limit; Algorithm 2 re-runs itself on the reduced set.
             if len(subset) <= join.config.limit:
                 yield SubsetCandidates(tuple(subset))
-                stats.extra["bruteforce_pairs_calls"] = stats.extra.get("bruteforce_pairs_calls", 0.0) + 1.0
+                stats.add_extra("bruteforce_pairs_calls")
                 return []
         return subset
 
     # ------------------------------------------------------------------ ablation strategies
-    def _fixed_depth(self, subset: List[int], depth: int, stop_depth: int) -> Iterator[Task]:
+    def _fixed_depth(
+        self, subset: List[int], depth: int, stop_depth: int, node_key: int
+    ) -> Iterator[Task]:
         """Classic LSH-style recursion: split until a fixed depth, then brute force."""
         self._enter_node(depth)
         if len(subset) < 2:
@@ -170,10 +215,12 @@ class ChosenPathCandidateStage(CandidateStage):
         if depth >= stop_depth or len(subset) <= self.join.config.limit:
             yield SubsetCandidates(tuple(subset))
             return
-        for bucket in self.join._split(subset, self.collection, self.rng):
-            yield from self._fixed_depth(bucket, depth + 1, stop_depth)
+        for _rank, bucket, child_key in self._children(subset, node_key):
+            yield from self._fixed_depth(bucket, depth + 1, stop_depth, child_key)
 
-    def _individual(self, subset: List[int], depth: int, depths: Dict[int, int]) -> Iterator[Task]:
+    def _individual(
+        self, subset: List[int], depth: int, depths: Dict[int, int], node_key: int
+    ) -> Iterator[Task]:
         """Per-record fixed-depth recursion (the ``individual`` strategy)."""
         self._enter_node(depth)
         if len(subset) < 2:
@@ -193,8 +240,8 @@ class ChosenPathCandidateStage(CandidateStage):
             subset = [record_id for record_id in subset if record_id not in expiring_set]
             if len(subset) < 2:
                 return
-        for bucket in self.join._split(subset, self.collection, self.rng):
-            yield from self._individual(bucket, depth + 1, depths)
+        for _rank, bucket, child_key in self._children(subset, node_key):
+            yield from self._individual(bucket, depth + 1, depths, child_key)
 
 
 class CPSJoin:
@@ -302,7 +349,7 @@ class CPSJoin:
         self,
         subset: List[int],
         collection: PreprocessedCollection,
-        rng: np.random.Generator,
+        node_key: int,
     ) -> List[List[int]]:
         """Split a subproblem into buckets (Algorithm 1 with the Section V-A.3 heuristic).
 
@@ -312,16 +359,17 @@ class CPSJoin:
         exactly as if the splitting hash of Algorithm 1 had selected that
         token.  Buckets with fewer than two records cannot produce pairs and
         are dropped.
+
+        The coordinate choice is a pure function of ``node_key`` (the node's
+        deterministic identity, see :mod:`repro.core.frontier`), so the
+        recursive and frontier walks split every node identically.
         """
         num_functions = collection.embedding_size
         # Each coordinate is chosen independently with probability 1/(λ t), so
         # the expected number of chosen coordinates is 1/λ (λ being the
         # embedded threshold — the MinHash values estimate embedded Jaccard).
         probability = min(1.0, 1.0 / (self.embedded_threshold * num_functions))
-        chosen = np.flatnonzero(rng.random(num_functions) < probability)
-        if chosen.size == 0:
-            # Guarantee progress: always split on at least one coordinate.
-            chosen = np.array([int(rng.integers(0, num_functions))])
+        chosen = chosen_split_coordinates(node_key, num_functions, probability)
 
         subset_array = np.asarray(subset, dtype=np.intp)
         buckets: List[List[int]] = []
@@ -372,16 +420,16 @@ class CPSJoin:
         averages = brute_forcer.average_similarities(subset, method=self.config.average_method)
         num_records = max(2, len(subset))
         threshold = self.embedded_threshold
-        depths = np.zeros(len(subset), dtype=np.int64)
-        for position, average in enumerate(averages):
-            if average >= threshold:
-                depths[position] = 0
-                continue
-            average = max(average, 1e-6)
-            depths[position] = max(
-                1, int(math.ceil(math.log(num_records) / math.log(threshold / average)))
-            )
-        return depths
+        averages = np.asarray(averages, dtype=np.float64)
+        at_threshold = averages >= threshold
+        clamped = np.maximum(averages, 1e-6)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            raw = np.ceil(math.log(num_records) / np.log(threshold / clamped))
+        # Records at least as similar as the threshold get depth 0: immediate
+        # brute force, matching the adaptive rule's behaviour for them.  (They
+        # are masked before the cast: their ``raw`` value may be NaN/-inf.)
+        raw = np.where(at_threshold, 0.0, np.maximum(raw, 1.0))
+        return raw.astype(np.int64)
 
     def run_once_individual(self, collection: PreprocessedCollection, repetition: int = 0) -> JoinResult:
         """Convenience entry point used by the stopping-strategy ablation."""

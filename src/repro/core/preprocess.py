@@ -59,6 +59,9 @@ class PreprocessedCollection:
         self._signatures: Optional[MinHashSignatures] = None
         self._sketches: Optional[OneBitMinHashSketches] = None
         self._sketch_bigints: Optional[List[int]] = None
+        self._sketch_bits: Optional[np.ndarray] = None
+        self._sketch_bits_built = False
+        self._signature_ranks: Optional[np.ndarray] = None
 
     @classmethod
     def from_store(cls, store: RecordStore) -> "PreprocessedCollection":
@@ -143,6 +146,53 @@ class PreprocessedCollection:
                 for index in range(words.shape[0])
             ]
         return self._sketch_bigints
+
+    def signature_rank_matrix(self) -> np.ndarray:
+        """Per-column dense ranks of the MinHash signature matrix, cached.
+
+        ``ranks[x, i]`` is the rank of record ``x``'s MinHash value among the
+        distinct values of coordinate ``i`` — equal ranks within a column iff
+        equal MinHash values, so grouping by rank partitions a subproblem
+        exactly like grouping by value.  The frontier candidate walk packs
+        ``(node-slot, rank)`` into one small integer sort key per row, which
+        is cheaper than lexsorting the raw 64-bit values; built once per
+        collection (same benign first-call race as :meth:`sketch_bigints`).
+        """
+        if self._signature_ranks is None:
+            matrix = self.signatures.matrix
+            order = np.argsort(matrix, axis=0, kind="stable")
+            sorted_values = np.take_along_axis(matrix, order, axis=0)
+            new_group = np.ones_like(sorted_values, dtype=np.int64)
+            new_group[1:] = sorted_values[1:] != sorted_values[:-1]
+            dense = np.cumsum(new_group, axis=0) - 1
+            ranks = np.empty(matrix.shape, dtype=np.int32)
+            np.put_along_axis(ranks, order, dense.astype(np.int32), axis=0)
+            self._signature_ranks = ranks
+        return self._signature_ranks
+
+    _SKETCH_BITS_BUDGET_BYTES = 1 << 27
+    """Memory budget for the unpacked sketch-bit matrix (128 MB)."""
+
+    def sketch_bit_matrix(self) -> Optional[np.ndarray]:
+        """Sketch bits unpacked to a float32 ``(n, num_bits)`` matrix, cached.
+
+        Backs the matvec form of the sampled average-similarity estimator
+        (see :meth:`repro.backend.base.ExecutionBackend.average_similarity_sampled`).
+        Cached here — not on the per-repetition backend — so all repetitions
+        of a join share one unpacking pass.  Returns ``None`` for collections
+        whose matrix would exceed the budget (callers fall back to the packed
+        word loop); the benign concurrent-first-call race matches
+        :meth:`sketch_bigints`.
+        """
+        if not self._sketch_bits_built:
+            words = self.store.sketch_words
+            num_bits = words.shape[1] * words.dtype.itemsize * 8
+            if words.size and words.shape[0] * num_bits * 4 <= self._SKETCH_BITS_BUDGET_BYTES:
+                self._sketch_bits = np.unpackbits(
+                    np.ascontiguousarray(words).view(np.uint8), axis=1
+                ).astype(np.float32)
+            self._sketch_bits_built = True
+        return self._sketch_bits
 
     # ------------------------------------------------------------------ shared memory
     def to_shared(self) -> SharedStoreLease:

@@ -10,8 +10,13 @@ The repetitions are statistically independent — repetition ``r`` derives its
 randomness only from ``config.seed`` and ``r`` — so the engine can execute
 them on a pool of parallel workers and still produce results that are
 bit-for-bit identical to a sequential run: results are always merged in
-repetition order, regardless of completion order.  *How* the repetitions are
-dispatched is a pluggable **executor**:
+repetition order, regardless of completion order.  Within a repetition the
+randomness is likewise walk-agnostic: the repetition generator is consumed
+once for a root entropy draw, and every Chosen Path tree node derives its
+split coordinates and estimator stream from its own node key (see
+:mod:`repro.core.frontier`), so the scalar recursion and the array frontier
+— and any worker executing either — consume identical per-node randomness.
+*How* the repetitions are dispatched is a pluggable **executor**:
 
 * ``"serial"`` — run in-process, one after the other (the reference).
 * ``"threads"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.  Cheap

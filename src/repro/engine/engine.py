@@ -182,7 +182,7 @@ class JoinEngine:
         surviving_seconds: List[np.ndarray] = []
         for task in tasks:
             if isinstance(task, SubsetCandidates):
-                pre, firsts, seconds = filter_stage.filter_subset(list(task.subset))
+                pre, firsts, seconds = filter_stage.filter_subset(task.subset)
                 stats.pre_candidates += pre
             elif isinstance(task, PointCandidates):
                 pre, firsts, seconds = filter_stage.filter_point(task.anchor, task.others)

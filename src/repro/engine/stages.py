@@ -60,9 +60,14 @@ Pair = Tuple[int, int]
 # ---------------------------------------------------------------------- tasks
 @dataclass(frozen=True)
 class SubsetCandidates:
-    """All pairs within ``subset`` are candidates (BRUTEFORCEPAIRS shape)."""
+    """All pairs within ``subset`` are candidates (BRUTEFORCEPAIRS shape).
 
-    subset: Tuple[int, ...]
+    ``subset`` is any integer sequence: scalar candidate walks emit tuples,
+    the array frontier emits numpy index slices — the filter stages accept
+    both (they index the backend's arrays with it directly).
+    """
+
+    subset: Sequence[int]
 
     @property
     def cost(self) -> int:
@@ -71,10 +76,14 @@ class SubsetCandidates:
 
 @dataclass(frozen=True)
 class PointCandidates:
-    """Every (anchor, other) pair is a candidate (BRUTEFORCEPOINT shape)."""
+    """Every (anchor, other) pair is a candidate (BRUTEFORCEPOINT shape).
+
+    ``others`` is any integer sequence (tuple or numpy index array), like
+    :class:`SubsetCandidates.subset`.
+    """
 
     anchor: int
-    others: Tuple[int, ...]
+    others: Sequence[int]
 
     @property
     def cost(self) -> int:

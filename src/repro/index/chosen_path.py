@@ -86,16 +86,24 @@ class ChosenPathIndex:
         return self._node_hashes[key]
 
     def _paths_of(self, record: Tuple[int, ...], tree: int) -> List[Tuple[int, ...]]:
-        """All root-to-leaf paths the record follows in one tree."""
+        """All root-to-leaf paths the record follows in one tree.
+
+        Each node tests all of the record's tokens in one vectorized hash
+        pass.  ``UniformHash.value`` masks its key to 32 bits while the
+        vectorized ``values`` does not, so the tokens are masked here once —
+        keeping the branching decisions (and therefore existing persisted
+        buckets) identical to the scalar per-token loop.
+        """
         branch_probability = min(1.0, 1.0 / (self.threshold * len(record)))
+        tokens = np.asarray(record, dtype=np.uint64) & np.uint64(0xFFFFFFFF)
         frontier: List[Tuple[int, ...]] = [()]
         for _ in range(self.depth):
             next_frontier: List[Tuple[int, ...]] = []
             for path in frontier:
                 node_hash = self._node_hash(tree, path)
-                for token in record:
-                    if node_hash.value(token) < branch_probability:
-                        next_frontier.append(path + (token,))
+                branching = node_hash.values(tokens) < branch_probability
+                for position in np.flatnonzero(branching).tolist():
+                    next_frontier.append(path + (record[position],))
             frontier = next_frontier
             if not frontier:
                 break

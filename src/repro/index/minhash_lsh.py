@@ -60,12 +60,12 @@ class MinHashLSHIndex:
         return 1.0 - (1.0 - similarity**self.rows) ** self.bands
 
     def _band_keys(self, record: Sequence[int]) -> List[Tuple[int, ...]]:
-        signature = self._minhasher.signature(record)
-        keys = []
-        for band in range(self.bands):
-            start = band * self.rows
-            keys.append(tuple(int(value) for value in signature[start : start + self.rows]))
-        return keys
+        # One bulk tolist() yields Python ints for every band at once —
+        # identical keys to the old per-element int() loop.
+        values = self._minhasher.signature(record).tolist()
+        return [
+            tuple(values[band * self.rows : (band + 1) * self.rows]) for band in range(self.bands)
+        ]
 
     def insert(self, record: Sequence[int]) -> int:
         """Insert a record; returns its id within the index."""

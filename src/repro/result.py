@@ -54,6 +54,24 @@ class JoinStats:
     index_build_seconds: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
 
+    def add_extra(self, key: str, amount: float = 1.0) -> None:
+        """Accumulate an ad-hoc counter in :attr:`extra`.
+
+        Replaces the repeated ``extra[key] = extra.get(key, 0.0) + n`` pattern
+        at the call sites, so every candidate-stage implementation bumps the
+        same keys the same way (a frontier walk cannot silently drop a stat a
+        recursive walk maintains, and vice versa).
+        """
+        self.extra[key] = self.extra.get(key, 0.0) + float(amount)
+
+    def max_extra(self, key: str, value: float) -> None:
+        """Track a running maximum in :attr:`extra` (``max_``-style keys).
+
+        Always materializes the key, so a run that never exceeds zero still
+        reports the counter (matching :meth:`merge`'s max semantics).
+        """
+        self.extra[key] = max(self.extra.get(key, 0.0), float(value))
+
     def merge(self, other: "JoinStats") -> None:
         """Accumulate counters from another run (used by the repetition driver).
 

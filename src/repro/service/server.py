@@ -82,6 +82,15 @@ keep answering precisely when the gate is shedding everything else.
 """
 
 
+_TIMING_FIELDS = (
+    "candidate_seconds",
+    "filter_seconds",
+    "verify_seconds",
+    "index_build_seconds",
+)
+"""Per-stage timing fields surfaced as the ``timings`` block of ``stats``."""
+
+
 class _DeadlineExceeded(Exception):
     """A request ran past ``request_deadline_ms`` and was dropped."""
 
@@ -631,14 +640,22 @@ class SimilarityServer:
 
         def _collect() -> Dict[str, Any]:
             # On the engine thread, so the counters are not mid-update.
+            totals = index.stats.as_dict()
+            session = index.stats.delta(self._stats_origin)
             return {
                 "records": len(index),
                 "threshold": index.threshold,
                 "measure": index.measure.name,
                 "candidates": index.candidates,
                 "backend": index.backend,
-                "index": index.stats.as_dict(),
-                "session": index.stats.delta(self._stats_origin),
+                "index": totals,
+                "session": session,
+                # Where query time goes, split by pipeline stage — lifetime
+                # totals next to what this server session contributed.
+                "timings": {
+                    "total": {field: totals[field] for field in _TIMING_FIELDS},
+                    "session": {field: session[field] for field in _TIMING_FIELDS},
+                },
             }
 
         payload = await self._run_on_engine(_collect)

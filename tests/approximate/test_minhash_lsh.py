@@ -82,3 +82,36 @@ class TestParameterSelection:
         single = engine.run_once(collection, repetition=0)
         full = engine.join_preprocessed(collection)
         assert single.pairs <= full.pairs or len(full.pairs) >= len(single.pairs)
+
+
+class TestBucketizeParity:
+    """The column-wise numpy bucketing must mirror the dict-loop reference."""
+
+    def _buckets(self, collection, backend, k, seed):
+        import numpy as np
+
+        join = MinHashLSHJoin(0.5, num_hash_functions=k, seed=seed, backend=backend)
+        rng = np.random.default_rng(seed)
+        coordinates = join._draw_coordinates(collection.embedding_size, k, rng)
+        return [
+            [int(record) for record in bucket]
+            for bucket in join._bucketize(collection, coordinates)
+        ]
+
+    def test_numpy_buckets_equal_python_reference(self, uniform_dataset) -> None:
+        collection = preprocess_collection(uniform_dataset.records, seed=4)
+        for k in (1, 2, 3, 5):
+            reference = self._buckets(collection, "python", k, seed=k)
+            vectorized = self._buckets(collection, "numpy", k, seed=k)
+            # Same buckets, same order, same members in the same order.
+            assert vectorized == reference
+
+    def test_full_join_pairs_identical_across_backends(self, uniform_dataset) -> None:
+        records = uniform_dataset.records[:200]
+        results = {
+            backend: MinHashLSHJoin(
+                0.5, num_hash_functions=3, repetitions=4, seed=6, backend=backend
+            ).join(records)
+            for backend in ("python", "numpy")
+        }
+        assert results["numpy"].pairs == results["python"].pairs

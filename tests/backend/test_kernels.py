@@ -152,3 +152,33 @@ class TestAverageSimilarities:
             subset, 16, np.random.default_rng(5)
         )
         np.testing.assert_array_equal(sampled_python, sampled_numpy)
+
+
+class TestGroupRowsFirstOccurrence:
+    def _reference(self, keys: np.ndarray, min_size: int) -> list:
+        groups: dict = {}
+        for row, key in enumerate(map(tuple, keys.tolist())):
+            groups.setdefault(key, []).append(row)
+        return [rows for rows in groups.values() if len(rows) >= min_size]
+
+    def test_matches_insertion_ordered_dict_grouping(self) -> None:
+        from repro.backend.kernels import group_rows_first_occurrence
+
+        rng = np.random.default_rng(13)
+        for columns in (1, 2, 4):
+            keys = rng.integers(0, 5, size=(200, columns))
+            for min_size in (1, 2, 3):
+                expected = self._reference(keys, min_size)
+                got = group_rows_first_occurrence(keys, min_size=min_size)
+                assert [group.tolist() for group in got] == expected
+
+    def test_empty_and_degenerate_inputs(self) -> None:
+        from repro.backend.kernels import group_rows_first_occurrence
+
+        assert group_rows_first_occurrence(np.zeros((0, 3), dtype=np.int64)) == []
+        # Zero columns: every row shares the (empty) key.
+        [only] = group_rows_first_occurrence(np.zeros((4, 0), dtype=np.int64), min_size=2)
+        assert only.tolist() == [0, 1, 2, 3]
+        assert group_rows_first_occurrence(np.zeros((1, 0), dtype=np.int64), min_size=2) == []
+        with pytest.raises(ValueError):
+            group_rows_first_occurrence(np.zeros(5, dtype=np.int64))

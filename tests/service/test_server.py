@@ -594,3 +594,26 @@ class TestPersistenceLifecycle:
             assert payload["server"]["inserts_since_snapshot"] == 1
         finally:
             handle.stop()
+
+
+class TestStatsTimings:
+    def test_stats_expose_per_stage_timing_split(self, running_server) -> None:
+        with ServiceClient.connect(*running_server.address) as client:
+            origin = client.stats()
+            for record in BASE_RECORDS[:3]:
+                client.query(record)
+            payload = client.stats()
+        fields = {"candidate_seconds", "filter_seconds", "verify_seconds", "index_build_seconds"}
+        timings = payload["timings"]
+        assert set(timings["total"]) == fields
+        assert set(timings["session"]) == fields
+        for field in fields:
+            # Totals include everything the index ever did; the session delta
+            # only what this server accumulated since it started.
+            assert timings["total"][field] >= timings["session"][field] >= 0.0
+        # Queries since the origin snapshot must have spent candidate time.
+        assert timings["session"]["candidate_seconds"] >= origin["timings"]["session"]["candidate_seconds"]
+        # The index was built before the server started serving, so the
+        # session delta must not re-count the build.
+        assert timings["session"]["index_build_seconds"] == 0.0
+        assert timings["total"]["index_build_seconds"] > 0.0

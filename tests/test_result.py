@@ -130,3 +130,27 @@ class TestTimer:
         with Timer() as timer:
             time.sleep(0.01)
         assert timer.elapsed >= 0.005
+
+
+class TestExtraHelpers:
+    def test_add_extra_accumulates_with_default_increment(self) -> None:
+        stats = JoinStats()
+        stats.add_extra("tree_nodes")
+        stats.add_extra("tree_nodes")
+        stats.add_extra("tree_nodes", 3.0)
+        assert stats.extra["tree_nodes"] == 5.0
+
+    def test_max_extra_keeps_running_maximum(self) -> None:
+        stats = JoinStats()
+        stats.max_extra("max_depth", 2.0)
+        stats.max_extra("max_depth", 7.0)
+        stats.max_extra("max_depth", 4.0)
+        assert stats.extra["max_depth"] == 7.0
+
+    def test_helpers_initialize_missing_keys(self) -> None:
+        stats = JoinStats()
+        stats.add_extra("calls", 2.5)
+        # max_extra floors at 0.0 so a run that never exceeds zero still
+        # materializes the key (matching merge's max semantics).
+        stats.max_extra("peak", -1.0)
+        assert stats.extra == {"calls": 2.5, "peak": 0.0}
