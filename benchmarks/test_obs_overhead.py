@@ -1,0 +1,97 @@
+"""Benchmark guard: a disabled observability layer must stay near-free.
+
+The instrumentation contract (ISSUE 10): with no metrics registry and no
+tracer installed, every hook degrades to one module-global read — so a
+10,000-record join with the observability layer *importable but disabled*
+must run within 5% of itself.  Since "itself" is the only baseline that
+exists (the hooks are compiled in), the guard interleaves two identically
+configured runs — one under ``disable_metrics``/``disable_tracing``, one
+with a registry and a recording tracer enabled — and bounds the *enabled*
+overhead instead, which upper-bounds the disabled overhead by construction:
+the disabled path is a strict subset of the enabled path's work.
+
+Timings are interleaved best-of-N minima (the robust estimator under noisy
+CI schedulers) with one retry before failing.  The run also asserts pair-set
+parity between the two modes — the non-negotiable half of the contract.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import CPSJoinConfig
+from repro.core.cpsjoin import CPSJoin
+from repro.core.preprocess import preprocess_collection
+from repro.datasets.profiles import generate_profile_dataset
+from repro.obs import (
+    MetricsRegistry,
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+)
+
+OVERHEAD_CEILING = 1.05
+TRIALS = 3
+BENCH_SEED = 42
+
+
+def _build_collection():
+    # The Table-II synthetic workload at 10k records: large enough that the
+    # per-stage span overhead would show, small enough for a CI leg.
+    dataset = generate_profile_dataset("TOKENS10K", scale=1.0, seed=BENCH_SEED)
+    config = CPSJoinConfig()
+    return preprocess_collection(
+        dataset.records,
+        embedding_size=config.embedding_size,
+        sketch_words=config.sketch_words,
+        seed=BENCH_SEED,
+    )
+
+
+def _run_once(collection):
+    engine = CPSJoin(
+        0.5, CPSJoinConfig(seed=BENCH_SEED, repetitions=3, backend="numpy")
+    )
+    started = time.perf_counter()
+    result = engine.join_preprocessed(collection)
+    return time.perf_counter() - started, result.pairs
+
+
+def _interleaved_ratio(collection):
+    disabled_best = enabled_best = float("inf")
+    disabled_pairs = enabled_pairs = None
+    sink_records = []
+    for _ in range(TRIALS):
+        disable_metrics()
+        disable_tracing()
+        elapsed, pairs = _run_once(collection)
+        disabled_best, disabled_pairs = min(disabled_best, elapsed), pairs
+
+        enable_metrics(MetricsRegistry())
+        enable_tracing(sink_records.append)
+        try:
+            elapsed, pairs = _run_once(collection)
+        finally:
+            disable_metrics()
+            disable_tracing()
+        enabled_best, enabled_pairs = min(enabled_best, elapsed), pairs
+    return enabled_best / disabled_best, disabled_pairs, enabled_pairs, sink_records
+
+
+class TestObservabilityOverhead:
+    def test_disabled_layer_under_five_percent_on_10k_join(self) -> None:
+        collection = _build_collection()
+        ratio, disabled_pairs, enabled_pairs, sink_records = _interleaved_ratio(collection)
+        # Parity first: instrumentation must never change the answer.
+        assert enabled_pairs == disabled_pairs
+        # The enabled run did real observability work (spans were emitted),
+        # so the ratio is a meaningful upper bound on the disabled overhead.
+        assert sink_records
+        if ratio >= OVERHEAD_CEILING:  # one retry: CI schedulers are noisy
+            ratio, disabled_pairs, enabled_pairs, _ = _interleaved_ratio(collection)
+            assert enabled_pairs == disabled_pairs
+        assert ratio < OVERHEAD_CEILING, (
+            f"observability overhead ratio {ratio:.3f} exceeds the "
+            f"{OVERHEAD_CEILING} ceiling"
+        )

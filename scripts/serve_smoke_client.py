@@ -20,6 +20,11 @@ Usage::
     # overload policy: some requests shed with `busy`, `health` keeps
     # answering mid-flood, every flood request gets a response.
     python scripts/serve_smoke_client.py flood PORT_FILE QUERIES
+
+    # observability: scrape `metrics`, drive queries plus a shedding flood,
+    # scrape again, and assert the latency/shed series are present and
+    # every monotone counter only ever increased.
+    python scripts/serve_smoke_client.py metrics PORT_FILE QUERIES
 """
 
 from __future__ import annotations
@@ -107,9 +112,111 @@ def run_flood(host: str, port: int, queries) -> None:
     )
 
 
+def _monotone_values(snapshot: dict) -> dict:
+    """Flatten a metrics snapshot to every value that must never decrease.
+
+    Counters contribute their value; histograms their total observation
+    count and every cumulative bucket count.  Gauges are excluded (free to
+    move both ways).  Keys are ``(metric name, sorted label items, part)``.
+    """
+    flat = {}
+    for name, metric in snapshot.items():
+        kind = metric.get("type")
+        for series in metric.get("series", []):
+            labels = tuple(sorted((series.get("labels") or {}).items()))
+            if kind == "counter":
+                flat[(name, labels, "value")] = series["value"]
+            elif kind == "histogram":
+                flat[(name, labels, "count")] = series["count"]
+                for position, count in enumerate(series["counts"]):
+                    flat[(name, labels, f"bucket{position}")] = count
+    return flat
+
+
+def _series(snapshot: dict, name: str, **labels) -> dict:
+    """The one series of ``name`` matching ``labels``, or None."""
+    for series in snapshot.get(name, {}).get("series", []):
+        series_labels = series.get("labels") or {}
+        if all(series_labels.get(key) == value for key, value in labels.items()):
+            return series
+    return None
+
+
+def run_metrics(host: str, port: int, queries) -> None:
+    """Scrape, load (queries + shedding flood), scrape again, assert."""
+    with ServiceClient.connect(host, port, timeout=30.0) as probe:
+        before = probe.metrics()
+    before_values = _monotone_values(before.get("values", {}))
+
+    point_queries = (queries * 8)[:8]  # cycle small datasets up to 8 sends
+    with ServiceClient.connect(host, port, timeout=60.0) as client:
+        client.query_batch(queries[:32])
+        for record in point_queries:
+            client.query(record)
+    run_flood(host, port, queries)
+
+    with ServiceClient.connect(host, port, timeout=30.0) as probe:
+        after = probe.metrics()
+        report = probe.stats()
+    after_values = _monotone_values(after.get("values", {}))
+    snapshot = after.get("values", {})
+
+    # 1. Per-op latency histogram exists and saw the queries we sent.
+    latency = _series(snapshot, "repro_service_request_seconds", op="query")
+    if latency is None or latency["count"] < len(point_queries):
+        raise SystemExit(f"query latency histogram missing or too small: {latency!r}")
+    # 2. The flood left shed evidence in both the admission mirror and the
+    #    per-outcome response counter.
+    admission_shed = _series(snapshot, "repro_service_admission_shed_total")
+    busy = _series(snapshot, "repro_service_responses_total", op="query", outcome="busy")
+    if admission_shed is None or admission_shed["value"] == 0:
+        raise SystemExit("metrics show no admission sheds after a shedding flood")
+    if busy is None or busy["value"] == 0:
+        raise SystemExit("metrics show no busy responses after a shedding flood")
+    # 3. Every monotone series moved only upward between the scrapes.
+    for key, value in before_values.items():
+        if key in after_values and after_values[key] < value:
+            raise SystemExit(
+                f"monotone series {key!r} decreased between scrapes: "
+                f"{value} -> {after_values[key]}"
+            )
+    # 4. The exposition text carries the histogram in Prometheus shape.
+    text = after.get("text", "")
+    for needle in (
+        "# TYPE repro_service_request_seconds histogram",
+        'repro_service_request_seconds_bucket{',
+        "repro_service_request_seconds_count{",
+        "repro_service_admission_shed_total",
+    ):
+        if needle not in text:
+            raise SystemExit(f"exposition text is missing {needle!r}")
+    # 5. Process metadata and the slow-query log surface through stats.
+    server_stats = report["server"]
+    if server_stats.get("rss_bytes", 0) <= 0:
+        raise SystemExit(f"stats rss_bytes not positive: {server_stats.get('rss_bytes')!r}")
+    if server_stats.get("uptime_seconds", -1.0) < 0:
+        raise SystemExit("stats uptime_seconds missing or negative")
+    if "pid" not in server_stats:
+        raise SystemExit("stats is missing process metadata (pid)")
+    slow = report.get("slow_queries")
+    if not isinstance(slow, list) or not slow:
+        raise SystemExit(f"stats slow_queries missing or empty: {slow!r}")
+    if any("duration_seconds" not in entry or "op" not in entry for entry in slow):
+        raise SystemExit(f"slow_queries entries malformed: {slow[:3]!r}")
+    print(
+        f"# metrics: query_count={latency['count']}, "
+        f"admission_shed={admission_shed['value']}, busy_responses={busy['value']}, "
+        f"{len(before_values)} monotone series checked, "
+        f"{len(slow)} slow-log entries",
+        file=sys.stderr,
+    )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("mode", choices=["query", "query-topk", "insert-and-query", "flood"])
+    parser.add_argument(
+        "mode", choices=["query", "query-topk", "insert-and-query", "flood", "metrics"]
+    )
     parser.add_argument("port_file", type=Path)
     parser.add_argument("files", nargs="+", type=Path, help="[inserts] queries [out_csv]")
     parser.add_argument("--k", type=int, default=None, help="matches per query (query-topk mode)")
@@ -119,7 +226,9 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    expected = {"query": 2, "query-topk": 2, "insert-and-query": 3, "flood": 1}[args.mode]
+    expected = {"query": 2, "query-topk": 2, "insert-and-query": 3, "flood": 1, "metrics": 1}[
+        args.mode
+    ]
     if len(args.files) != expected:
         parser.error(f"mode {args.mode!r} takes {expected} file arguments")
     if args.mode == "query-topk" and (args.k is None or args.k < 1):
@@ -129,6 +238,9 @@ def main() -> int:
 
     if args.mode == "flood":
         run_flood(host, port, read_dataset(args.files[0]).records)
+        return 0
+    if args.mode == "metrics":
+        run_metrics(host, port, read_dataset(args.files[0]).records)
         return 0
 
     inserts_path = args.files[0] if args.mode == "insert-and-query" else None

@@ -1,7 +1,7 @@
 """Command-line interface for the reproduction.
 
-Six subcommands cover the day-to-day uses of the library without writing any
-Python:
+Seven subcommands cover the day-to-day uses of the library without writing
+any Python:
 
 * ``repro-join join`` — run a similarity self-join over a token-set file
   (one record per line, whitespace-separated integer tokens) and print or
@@ -21,6 +21,12 @@ Python:
   (:mod:`repro.service`) answering ``query``/``insert``/``stats``/``health``
   over a JSON-lines TCP protocol, with micro-batched queries and optional
   snapshot + WAL persistence (``--data-dir``) surviving kills.
+  ``--metrics`` additionally records the library-level join/index metrics
+  into the registry served by the ``metrics`` operation, and
+  ``--trace-file`` appends every request's span tree as JSON lines.
+* ``repro-join trace`` — pretty-print a span file written by
+  ``serve --trace-file`` (or any :class:`repro.obs.TraceWriter`) as
+  indented per-trace trees with millisecond durations.
 * ``repro-join generate`` — generate one of the surrogate datasets (or a
   synthetic TOKENS / UNIFORM / ZIPF collection) and write it in the same
   format.
@@ -307,6 +313,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="write 'host port' to this file once the server is listening "
         "(for scripts starting the server in the background)",
     )
+    serve_parser.add_argument(
+        "--metrics", action="store_true",
+        help="record library-level join/index metrics into the served registry, "
+        "so the 'metrics' operation exposes engine counters alongside the "
+        "per-request latency histograms it always carries",
+    )
+    serve_parser.add_argument(
+        "--trace-file", type=str, default=None,
+        help="append every request's trace spans to this file as JSON lines "
+        "(pretty-print with `repro-join trace FILE`)",
+    )
+    serve_parser.add_argument(
+        "--slow-log", type=int, default=32,
+        help="slowest requests kept in the in-memory slow-query log surfaced "
+        "by the 'stats' operation (default 32; 0 disables it)",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="pretty-print a span JSON-lines file as per-trace trees"
+    )
+    trace_parser.add_argument("input", type=str, help="span file written by serve --trace-file")
+    trace_parser.add_argument(
+        "--trace-id", type=str, default=None, help="show only this trace (e.g. req-17)"
+    )
+    trace_parser.add_argument(
+        "--limit", type=int, default=0,
+        help="print at most this many traces (default 0: all of them)",
+    )
+    trace_parser.add_argument(
+        "--min-ms", type=float, default=0.0,
+        help="show only traces whose root span took at least this many milliseconds",
+    )
 
     generate_parser = subparsers.add_parser("generate", help="generate a surrogate or synthetic dataset")
     generate_parser.add_argument("name", type=str, help="profile name, e.g. NETFLIX, AOL, TOKENS10K, UNIFORM005")
@@ -534,7 +572,22 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         max_conn_inflight=args.max_conn_inflight,
         request_deadline_ms=args.request_deadline_ms,
+        slow_log_capacity=args.slow_log,
     )
+
+    trace_writer = None
+    if args.trace_file is not None:
+        from repro.obs import TraceWriter, enable_tracing
+
+        trace_writer = TraceWriter(args.trace_file)
+        enable_tracing(trace_writer)
+    if args.metrics:
+        # Point the process-global registry at the server's own: the join
+        # engine and index instrumentation then record straight into the
+        # registry the `metrics` operation serves.
+        from repro.obs import enable_metrics
+
+        enable_metrics(server.metrics)
 
     async def _serve() -> None:
         stop_event = asyncio.Event()
@@ -588,6 +641,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             await stop_event.wait()
         finally:
             await server.stop()
+            if trace_writer is not None:
+                trace_writer.close()
 
     from repro.index import IndexPersistenceError
     from repro.service.wal import WalCorruptionError
@@ -598,6 +653,80 @@ def _command_serve(args: argparse.Namespace) -> int:
         # Startup refusals (foreign/corrupt snapshot, corrupt WAL, locked
         # data dir) exit with the message, not an asyncio traceback.
         raise SystemExit(str(error))
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    import json
+
+    path = Path(args.input)
+    if not path.exists():
+        raise SystemExit(f"trace file {args.input!r} does not exist")
+    # Group the flat JSON-lines records by trace id, preserving file order
+    # (spans are emitted on exit, so a parent appears *after* its children;
+    # the tree below is rebuilt from the parent pointers, not file order).
+    traces: dict = {}
+    order = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                print(f"# skipping malformed line {line_number}", file=sys.stderr)
+                continue
+            trace_id = record.get("trace", "?")
+            if trace_id not in traces:
+                traces[trace_id] = []
+                order.append(trace_id)
+            traces[trace_id].append(record)
+    if args.trace_id is not None:
+        if args.trace_id not in traces:
+            raise SystemExit(f"trace {args.trace_id!r} not found in {args.input}")
+        order = [args.trace_id]
+
+    def _describe(record: dict) -> tuple:
+        duration = record.get("duration_seconds", 0.0)
+        label = f"{duration * 1000.0:10.3f}ms" if duration else "     event "
+        extra = record.get("extra")
+        suffix = ""
+        if isinstance(extra, dict) and extra:
+            suffix = "  [" + " ".join(f"{key}={value}" for key, value in sorted(extra.items())) + "]"
+        return label, suffix
+
+    printed = 0
+    for trace_id in order:
+        spans = traces[trace_id]
+        known = {record.get("span") for record in spans}
+        children: dict = {}
+        roots = []
+        for record in sorted(spans, key=lambda r: (r.get("start_unix", 0.0), str(r.get("span")))):
+            parent = record.get("parent")
+            if parent is None or parent not in known:
+                roots.append(record)
+            else:
+                children.setdefault(parent, []).append(record)
+        root_ms = max((r.get("duration_seconds", 0.0) for r in roots), default=0.0) * 1000.0
+        if root_ms < args.min_ms:
+            continue
+        if args.limit and printed >= args.limit:
+            print(f"# --limit {args.limit} reached; more traces follow")
+            break
+        printed += 1
+        print(f"trace {trace_id}  ({len(spans)} spans)")
+
+        def _print_tree(record: dict, depth: int) -> None:
+            label, suffix = _describe(record)
+            print(f"  {label}  {'  ' * depth}{record.get('name', '?')}{suffix}")
+            for child in children.get(record.get("span"), ()):
+                _print_tree(child, depth + 1)
+
+        for root in roots:
+            _print_tree(root, 0)
+    if printed == 0:
+        print("# no traces matched", file=sys.stderr)
     return 0
 
 
@@ -696,6 +825,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_generate(args)
     if args.command == "stats":
         return _command_stats(args)
+    if args.command == "trace":
+        return _command_trace(args)
     if args.command == "experiment":
         return _command_experiment(args)
     parser.error(f"unknown command {args.command!r}")

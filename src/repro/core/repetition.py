@@ -54,6 +54,7 @@ level, exactly as the paper does.
 
 from __future__ import annotations
 
+import contextvars
 import math
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -61,6 +62,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import CPSJoinConfig
 from repro.core.preprocess import PreprocessedCollection, preprocess_collection
+from repro.obs.tracing import span
 from repro.result import JoinResult, JoinStats, Timer, canonical_pair
 from repro.store import RecordStore, StoreHandle
 
@@ -241,17 +243,27 @@ class RepetitionEngine:
         """
         if self.executor == "serial" or self.workers == 1 or count <= 1:
             return [
-                self.engine.run_once(self.collection, repetition=start + offset)
+                self._run_one_traced(start + offset)
                 for offset in range(count)
             ]
         if self.executor == "processes":
             return self._run_repetitions_processes(count, start)
         with ThreadPoolExecutor(max_workers=min(self.workers, count)) as pool:
+            # Each task gets its own context copy so repetition spans nest
+            # under the caller's span despite the thread hop (and two tasks
+            # never race on one Context object).
             futures = [
-                pool.submit(self.engine.run_once, self.collection, repetition=start + offset)
+                pool.submit(
+                    contextvars.copy_context().run, self._run_one_traced, start + offset
+                )
                 for offset in range(count)
             ]
             return [future.result() for future in futures]
+
+    def _run_one_traced(self, repetition: int) -> JoinResult:
+        """One repetition, wrapped in its correlation span."""
+        with span("join.repetition", repetition=repetition, executor=self.executor):
+            return self.engine.run_once(self.collection, repetition=repetition)
 
     def _run_repetitions_processes(self, count: int, start: int) -> List[JoinResult]:
         """Dispatch repetition shards to worker processes over the shared store.
@@ -264,13 +276,19 @@ class RepetitionEngine:
         pool = self._ensure_process_pool()
         handle = self._lease.handle
         shards = shard_round_robin(count, self.workers, start=start)
-        futures = [
-            pool.submit(_run_repetition_shard, handle, self.engine, shard) for shard in shards
-        ]
-        by_repetition: Dict[int, JoinResult] = {}
-        for future in futures:
-            for repetition, result in future.result():
-                by_repetition[repetition] = result
+        # Worker processes carry no tracer; the wave span on the parent side
+        # is the correlation point for the whole fan-out.
+        with span(
+            "join.process_wave", repetitions=count, start=start, shards=len(shards)
+        ):
+            futures = [
+                pool.submit(_run_repetition_shard, handle, self.engine, shard)
+                for shard in shards
+            ]
+            by_repetition: Dict[int, JoinResult] = {}
+            for future in futures:
+                for repetition, result in future.result():
+                    by_repetition[repetition] = result
         return [by_repetition[start + offset] for offset in range(count)]
 
     def _fresh_stats(self) -> JoinStats:

@@ -43,6 +43,7 @@ from repro.engine.stages import (
     VerifyStage,
 )
 from repro.hashing.sketch import sketch_similarity_threshold
+from repro.obs.tracing import event, span
 from repro.result import JoinStats
 
 __all__ = ["JoinEngine"]
@@ -150,23 +151,35 @@ class JoinEngine:
         filter_stage = filter_stage if filter_stage is not None else self.default_filter_stage()
         dedup = dedup if dedup is not None else DedupStage()
 
-        pending: List = []
-        pending_cost = 0
-        generator = candidates.tasks()
-        while True:
-            started = time.perf_counter()
-            task = next(generator, None)
-            stats.candidate_seconds += time.perf_counter() - started
-            if task is None:
-                break
-            pending.append(task)
-            pending_cost += task.cost
-            if pending_cost >= self.batch_budget:
+        with span(
+            "engine.execute",
+            algorithm=stats.algorithm or type(candidates).__name__,
+            backend=self.backend.name,
+        ) as engine_span:
+            pending: List = []
+            pending_cost = 0
+            generator = candidates.tasks()
+            while True:
+                started = time.perf_counter()
+                task = next(generator, None)
+                stats.candidate_seconds += time.perf_counter() - started
+                if task is None:
+                    break
+                pending.append(task)
+                pending_cost += task.cost
+                if pending_cost >= self.batch_budget:
+                    self._flush(pending, stats, filter_stage, dedup)
+                    pending = []
+                    pending_cost = 0
+            if pending:
                 self._flush(pending, stats, filter_stage, dedup)
-                pending = []
-                pending_cost = 0
-        if pending:
-            self._flush(pending, stats, filter_stage, dedup)
+            if engine_span.enabled:
+                event("engine.candidate", seconds=stats.candidate_seconds)
+                engine_span.annotate(
+                    pre_candidates=stats.pre_candidates,
+                    candidates=stats.candidates,
+                    results=len(dedup.result),
+                )
         return dedup.result
 
     def _flush(
@@ -178,49 +191,54 @@ class JoinEngine:
     ) -> None:
         """Filter one task batch, then verify the concatenated survivors."""
         started = time.perf_counter()
-        surviving_firsts: List[np.ndarray] = []
-        surviving_seconds: List[np.ndarray] = []
-        for task in tasks:
-            if isinstance(task, SubsetCandidates):
-                pre, firsts, seconds = filter_stage.filter_subset(task.subset)
-                stats.pre_candidates += pre
-            elif isinstance(task, PointCandidates):
-                pre, firsts, seconds = filter_stage.filter_point(task.anchor, task.others)
-                stats.pre_candidates += pre
-            elif isinstance(task, PairCandidates):
-                # Raw emissions were counted by the producer; dedup here.
-                fresh = dedup.unique_candidates(task.pairs)
-                if not fresh:
-                    continue
-                pairs_array = np.asarray(fresh, dtype=np.intp)
-                firsts, seconds = pairs_array[:, 0], pairs_array[:, 1]
-                # Side mask is an engine invariant, not producer discipline:
-                # in a side-aware collection same-side pairs are dropped
-                # before any filter sees them, whatever the candidate stage
-                # emitted.
-                sides = self.backend.sides
-                if sides is not None:
-                    cross = sides[firsts] != sides[seconds]
-                    firsts, seconds = firsts[cross], seconds[cross]
-                    if firsts.size == 0:
+        with span("engine.filter", tasks=len(tasks)) as filter_span:
+            surviving_firsts: List[np.ndarray] = []
+            surviving_seconds: List[np.ndarray] = []
+            for task in tasks:
+                if isinstance(task, SubsetCandidates):
+                    pre, firsts, seconds = filter_stage.filter_subset(task.subset)
+                    stats.pre_candidates += pre
+                elif isinstance(task, PointCandidates):
+                    pre, firsts, seconds = filter_stage.filter_point(task.anchor, task.others)
+                    stats.pre_candidates += pre
+                elif isinstance(task, PairCandidates):
+                    # Raw emissions were counted by the producer; dedup here.
+                    fresh = dedup.unique_candidates(task.pairs)
+                    if not fresh:
                         continue
-                firsts, seconds = filter_stage.filter_pairs(firsts, seconds)
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"unknown candidate task {task!r}")
-            if firsts.size:
-                surviving_firsts.append(firsts)
-                surviving_seconds.append(seconds)
-        if surviving_firsts:
-            firsts = np.concatenate(surviving_firsts)
-            seconds = np.concatenate(surviving_seconds)
-        else:
-            firsts = seconds = np.zeros(0, dtype=np.intp)
-        stats.candidates += int(firsts.size)
-        stats.verified += int(firsts.size)
-        stats.filter_seconds += time.perf_counter() - started
+                    pairs_array = np.asarray(fresh, dtype=np.intp)
+                    firsts, seconds = pairs_array[:, 0], pairs_array[:, 1]
+                    # Side mask is an engine invariant, not producer discipline:
+                    # in a side-aware collection same-side pairs are dropped
+                    # before any filter sees them, whatever the candidate stage
+                    # emitted.
+                    sides = self.backend.sides
+                    if sides is not None:
+                        cross = sides[firsts] != sides[seconds]
+                        firsts, seconds = firsts[cross], seconds[cross]
+                        if firsts.size == 0:
+                            continue
+                    firsts, seconds = filter_stage.filter_pairs(firsts, seconds)
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown candidate task {task!r}")
+                if firsts.size:
+                    surviving_firsts.append(firsts)
+                    surviving_seconds.append(seconds)
+            if surviving_firsts:
+                firsts = np.concatenate(surviving_firsts)
+                seconds = np.concatenate(surviving_seconds)
+            else:
+                firsts = seconds = np.zeros(0, dtype=np.intp)
+            stats.candidates += int(firsts.size)
+            stats.verified += int(firsts.size)
+            stats.filter_seconds += time.perf_counter() - started
+            if filter_span.enabled:
+                filter_span.annotate(survivors=int(firsts.size))
+                event("engine.dedup", seen_candidates=dedup.seen_candidates)
 
         started = time.perf_counter()
-        if firsts.size:
-            mask = self.verify_stage.verify(firsts, seconds)
-            dedup.accept(firsts, seconds, mask)
+        with span("engine.verify", candidates=int(firsts.size)):
+            if firsts.size:
+                mask = self.verify_stage.verify(firsts, seconds)
+                dedup.accept(firsts, seconds, mask)
         stats.verify_seconds += time.perf_counter() - started

@@ -133,6 +133,11 @@ class DedupStage:
         self._seen_candidates: Set[Pair] = set()
         self.result: Set[Pair] = set()
 
+    @property
+    def seen_candidates(self) -> int:
+        """Distinct candidate pairs deduplicated so far (trace annotation)."""
+        return len(self._seen_candidates)
+
     def unique_candidates(self, pairs: Iterable[Pair]) -> List[Pair]:
         """Canonicalize a raw candidate pair stream and drop repeats."""
         seen = self._seen_candidates

@@ -48,6 +48,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.datasets.profiles import generate_profile_dataset
 from repro.experiments.common import format_table, make_parser, write_bench_json
 from repro.index import SimilarityIndex
+from repro.obs import Histogram, percentile
 from repro.service import ServiceClient, SimilarityServer, serve_in_thread
 from repro.service.protocol import decode_message, encode_message
 
@@ -76,12 +77,42 @@ OVERLOAD_SETTINGS: Dict[str, int] = {
 """Admission caps and flood shape of the overload phase."""
 
 
-def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted sample."""
-    if not sorted_values:
-        return 0.0
-    rank = min(len(sorted_values) - 1, max(0, int(round(fraction * (len(sorted_values) - 1)))))
-    return sorted_values[rank]
+def _server_query_histogram(metrics_payload: Dict[str, object]) -> Optional[Histogram]:
+    """Rebuild the server-side ``op="query"`` latency histogram from a scrape."""
+    family = metrics_payload.get("values", {}).get("repro_service_request_seconds")
+    if not family:
+        return None
+    for series in family.get("series", ()):
+        if series.get("labels", {}).get("op") == "query":
+            return Histogram.from_snapshot(series, "repro_service_request_seconds")
+    return None
+
+
+def _check_histogram_agreement(
+    histogram: Histogram, client_latencies: Sequence[float], context: str
+) -> Dict[str, float]:
+    """Assert client and server percentiles agree within one bucket.
+
+    The client measures round trips with ``time.perf_counter``; the server
+    buckets its own decode-to-write durations.  Both views describe the
+    same requests, so their p50/p95/p99 must land in the same or an
+    adjacent latency bucket — the histogram's precision bound.
+    """
+    agreement: Dict[str, float] = {}
+    for label, fraction in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+        client_value = percentile(client_latencies, fraction)
+        server_value = histogram.quantile(fraction)
+        agreement[f"server_{label}_ms"] = round(1000.0 * server_value, 3)
+        distance = abs(
+            histogram.bucket_index(client_value) - histogram.bucket_index(server_value)
+        )
+        if distance > 1:
+            raise AssertionError(
+                f"{context}: server histogram {label} ({server_value * 1000:.3f} ms) is "
+                f"{distance} buckets away from the client-measured "
+                f"{client_value * 1000:.3f} ms (must agree within one bucket)"
+            )
+    return agreement
 
 
 def _drive_one_client(
@@ -226,7 +257,7 @@ def _run_overload_phase(
             "below the 2x-capacity offered load the overload phase must exercise"
         )
 
-    p99_ms = round(1000.0 * _percentile(latencies, 0.99), 3)
+    p99_ms = round(1000.0 * percentile(latencies, 0.99), 3)
     batches = max(1, int(server_stats["coalescer"]["batches"]))
     return {
         "phase": "overload",
@@ -237,8 +268,8 @@ def _run_overload_phase(
         "max_batch": 64,
         "linger_ms": 0.0,
         "throughput_qps": round(admitted / elapsed, 1),
-        "p50_ms": round(1000.0 * _percentile(latencies, 0.50), 3),
-        "p95_ms": round(1000.0 * _percentile(latencies, 0.95), 3),
+        "p50_ms": round(1000.0 * percentile(latencies, 0.50), 3),
+        "p95_ms": round(1000.0 * percentile(latencies, 0.95), 3),
         "p99_ms": p99_ms,
         "batches": batches,
         "mean_batch": round(admitted / batches, 2),
@@ -313,6 +344,7 @@ def run(
             elapsed = time.perf_counter() - began
             with ServiceClient.connect(*handle.address) as probe:
                 coalescer = probe.stats()["server"]["coalescer"]
+                metrics_payload = probe.metrics()
         finally:
             handle.stop()
 
@@ -330,24 +362,37 @@ def run(
         latencies.sort()
         total_queries = len(latencies)
         batches = max(1, int(coalescer["batches"]))
-        rows.append(
-            {
-                "phase": "coalesce",
-                "workload": dataset.name,
-                "records": len(index),
-                "clients": num_clients,
-                "queries": total_queries,
-                "max_batch": max_batch,
-                "linger_ms": linger_ms,
-                "throughput_qps": round(total_queries / elapsed, 1),
-                "p50_ms": round(1000.0 * _percentile(latencies, 0.50), 3),
-                "p95_ms": round(1000.0 * _percentile(latencies, 0.95), 3),
-                "p99_ms": round(1000.0 * _percentile(latencies, 0.99), 3),
-                "batches": batches,
-                "mean_batch": round(total_queries / batches, 2),
-                "parity": "ok",
-            }
-        )
+        row: Dict[str, object] = {
+            "phase": "coalesce",
+            "workload": dataset.name,
+            "records": len(index),
+            "clients": num_clients,
+            "queries": total_queries,
+            "max_batch": max_batch,
+            "linger_ms": linger_ms,
+            "throughput_qps": round(total_queries / elapsed, 1),
+            "p50_ms": round(1000.0 * percentile(latencies, 0.50), 3),
+            "p95_ms": round(1000.0 * percentile(latencies, 0.95), 3),
+            "p99_ms": round(1000.0 * percentile(latencies, 0.99), 3),
+            "batches": batches,
+            "mean_batch": round(total_queries / batches, 2),
+            "parity": "ok",
+        }
+        # The server's own latency histogram (scraped through the `metrics`
+        # op) must tell the same story as the client-side sample: every
+        # percentile within one bucket of the measured one.  (The overload
+        # phase cannot make this comparison — there the server histogram
+        # includes fast `busy` sheds the client sample excludes.)
+        histogram = _server_query_histogram(metrics_payload)
+        if histogram is not None and total_queries:
+            row.update(
+                _check_histogram_agreement(
+                    histogram,
+                    latencies,
+                    f"max_batch={max_batch}, linger={linger_ms}ms",
+                )
+            )
+        rows.append(row)
 
     # The uncontended reference for the overload phase: the sweep row with
     # the overload server's own coalescing settings (same-tick merging).

@@ -57,6 +57,8 @@ from repro.hashing.sketch import (
     sample_sketch_hashers,
     sketch_similarity_threshold,
 )
+from repro.obs.metrics import active_metrics
+from repro.obs.tracing import span
 from repro.result import JoinStats, canonical_pair
 from repro.similarity.measures import Measure, get_measure
 from repro.similarity.verify import verify_pair_sorted, verify_pair_sorted_measure
@@ -449,10 +451,17 @@ class SimilarityIndex:
         of the existing index is rebuilt.
         """
         started = time.perf_counter()
-        normalized = normalized_tokens(record, "index")
-        record_id = self._insert_normalized(normalized, None)
-        self.stats.index_build_seconds += time.perf_counter() - started
+        with span("index.insert"):
+            normalized = normalized_tokens(record, "index")
+            record_id = self._insert_normalized(normalized, None)
+        elapsed = time.perf_counter() - started
+        self.stats.index_build_seconds += elapsed
         self.stats.num_records = len(self._records)
+        registry = active_metrics()
+        if registry is not None:
+            registry.histogram(
+                "repro_index_insert_seconds", "Latency of single-record index inserts."
+            ).observe(elapsed)
         return record_id
 
     def insert_all(self, records: Sequence[Sequence[int]]) -> List[int]:
@@ -466,20 +475,27 @@ class SimilarityIndex:
         if not self.use_sketches:
             return [self.insert(record) for record in records]
         started = time.perf_counter()
-        normalized_list: List[Record] = [
-            normalized_tokens(record, "index") for record in records
-        ]
-        ids: List[int] = []
-        if normalized_list:
-            assert self._minhasher is not None and self._sketcher is not None
-            signatures = self._signature_block(normalized_list)
-            rows = self._sketcher.sketch_rows(signatures)
-            ids = [
-                self._insert_normalized(normalized, rows[position])
-                for position, normalized in enumerate(normalized_list)
+        with span("index.build", records=len(records)):
+            normalized_list: List[Record] = [
+                normalized_tokens(record, "index") for record in records
             ]
-        self.stats.index_build_seconds += time.perf_counter() - started
+            ids: List[int] = []
+            if normalized_list:
+                assert self._minhasher is not None and self._sketcher is not None
+                signatures = self._signature_block(normalized_list)
+                rows = self._sketcher.sketch_rows(signatures)
+                ids = [
+                    self._insert_normalized(normalized, rows[position])
+                    for position, normalized in enumerate(normalized_list)
+                ]
+        elapsed = time.perf_counter() - started
+        self.stats.index_build_seconds += elapsed
         self.stats.num_records = len(self._records)
+        registry = active_metrics()
+        if registry is not None:
+            registry.histogram(
+                "repro_index_build_seconds", "Latency of bulk index builds (insert_all)."
+            ).observe(elapsed)
         return ids
 
     _PARALLEL_BUILD_MINIMUM = 512
@@ -642,21 +658,32 @@ class SimilarityIndex:
         """
         if exclude_ids is not None and len(exclude_ids) != len(records):
             raise ValueError("exclude_ids must have one entry per query record")
-        chunks: List[Tuple[Sequence[Sequence[int]], List[Optional[int]]]] = []
-        for start in range(0, len(records), self.batch_size):
-            chunk = records[start : start + self.batch_size]
-            excludes = (
-                list(exclude_ids[start : start + self.batch_size])
-                if exclude_ids is not None
-                else [None] * len(chunk)
-            )
-            chunks.append((chunk, excludes))
-        if self.workers == 1 or self.executor == "serial" or len(chunks) <= 1:
-            results: List[List[Match]] = []
-            for chunk, excludes in chunks:
-                results.extend(self._query_chunk(chunk, excludes, self.stats))
-            return results
-        return self._query_batch_parallel(chunks)
+        started = time.perf_counter()
+        with span("index.query_batch", queries=len(records)):
+            chunks: List[Tuple[Sequence[Sequence[int]], List[Optional[int]]]] = []
+            for start in range(0, len(records), self.batch_size):
+                chunk = records[start : start + self.batch_size]
+                excludes = (
+                    list(exclude_ids[start : start + self.batch_size])
+                    if exclude_ids is not None
+                    else [None] * len(chunk)
+                )
+                chunks.append((chunk, excludes))
+            if self.workers == 1 or self.executor == "serial" or len(chunks) <= 1:
+                results: List[List[Match]] = []
+                for chunk, excludes in chunks:
+                    results.extend(self._query_chunk(chunk, excludes, self.stats))
+            else:
+                results = self._query_batch_parallel(chunks)
+        registry = active_metrics()
+        if registry is not None:
+            registry.counter(
+                "repro_index_queries_total", "Point lookups served by the index."
+            ).inc(len(records))
+            registry.histogram(
+                "repro_index_query_batch_seconds", "Latency of whole query_batch calls."
+            ).observe(time.perf_counter() - started)
+        return results
 
     def _query_batch_parallel(
         self, chunks: List[Tuple[Sequence[Sequence[int]], List[Optional[int]]]]

@@ -43,6 +43,7 @@ from repro.datasets.base import Record
 from repro.exact.allpairs import AllPairsJoin
 from repro.exact.naive import naive_join
 from repro.exact.ppjoin import PPJoin
+from repro.obs.bridge import record_join_stats
 from repro.result import JoinResult, JoinStats, canonical_pair
 
 __all__ = ["similarity_join", "similarity_join_rs", "ALGORITHMS", "NATIVE_RS_ALGORITHMS"]
@@ -190,6 +191,28 @@ def _dispatch_join(
     measure=None,
 ) -> JoinResult:
     """Run one algorithm on already normalized records (optionally side-aware)."""
+    result = _run_algorithm(
+        normalized, threshold, algorithm, config, seed, backend, workers, executor, sides, measure
+    )
+    # One bridge call per dispatched join: the merged (post-repetition) stats
+    # reach the metrics registry exactly once, identically for every
+    # executor — a no-op unless a registry is enabled.
+    record_join_stats(result.stats)
+    return result
+
+
+def _run_algorithm(
+    normalized: List[Record],
+    threshold: float,
+    algorithm: str,
+    config: Optional[CPSJoinConfig],
+    seed: Optional[int],
+    backend: Optional[str],
+    workers: Optional[int],
+    executor: Optional[str],
+    sides: Optional[Sequence[int]],
+    measure=None,
+) -> JoinResult:
     name = algorithm.lower()
     if name == "cpsjoin":
         effective = _effective_cpsjoin_config(config, seed, backend, workers, executor, measure)

@@ -1,0 +1,103 @@
+"""Bridge between :class:`repro.result.JoinStats` and the metrics registry.
+
+``JoinStats`` stays the deterministic, mergeable record the algorithms
+produce (it travels through process pools and index save files); the
+registry is the cumulative, scrapeable view.  This module maps one onto the
+other under a single naming scheme:
+
+=============================  =============================================
+JoinStats field / extra key    registry series
+=============================  =============================================
+``pre_candidates`` etc.        ``repro_join_<field>_total`` counter
+``candidate_seconds`` etc.     ``repro_join_<stage>_seconds_total`` counter
+``elapsed_seconds``            ``repro_join_elapsed_seconds`` histogram
+``extra["sketch_hits"]``       ``repro_join_extra_sketch_hits_total`` counter
+``extra["max_depth"]``         ``repro_join_extra_max_depth`` gauge (max)
+=============================  =============================================
+
+All series carry an ``algorithm`` label.  ``max_``-prefixed extras follow
+``JoinStats.merge``'s max semantics (a gauge keeping the running maximum);
+every other extra is a monotone counter.  Dynamic keys pass through
+:func:`repro.obs.metrics.metric_name`, so arbitrary ``add_extra`` keys
+cannot produce an invalid metric name.
+
+The bridge is called once per *merged* join result (from
+:func:`repro.join.similarity_join` and the index's query/insert paths), not
+per repetition — worker-shard stats already aggregate exactly through
+``JoinStats.merge``, so routing the merged result keeps process-pool runs
+and serial runs identical in the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, active_metrics, metric_name
+
+__all__ = ["record_join_stats"]
+
+_COUNT_FIELDS = ("pre_candidates", "candidates", "verified", "results", "repetitions")
+_STAGE_FIELDS = (
+    "preprocessing_seconds",
+    "candidate_seconds",
+    "filter_seconds",
+    "verify_seconds",
+    "index_build_seconds",
+    "worker_seconds",
+)
+
+
+def record_join_stats(stats, registry: Optional[MetricsRegistry] = None) -> None:
+    """Fold one join's statistics into the (or a given) metrics registry.
+
+    A no-op when no registry is active — the disabled path is one global
+    read plus this call's frame.
+    """
+    target = registry if registry is not None else active_metrics()
+    if target is None:
+        return
+    algorithm = stats.algorithm or "unknown"
+    target.counter(
+        "repro_join_runs_total", "Completed join executions.", algorithm=algorithm
+    ).inc()
+    for field_name in _COUNT_FIELDS:
+        value = float(getattr(stats, field_name))
+        if value > 0:
+            target.counter(
+                f"repro_join_{field_name}_total",
+                f"Summed JoinStats.{field_name} across joins.",
+                algorithm=algorithm,
+            ).inc(value)
+    for field_name in _STAGE_FIELDS:
+        value = float(getattr(stats, field_name))
+        if value > 0:
+            target.counter(
+                f"repro_join_{field_name}_total",
+                f"Summed JoinStats.{field_name} across joins.",
+                algorithm=algorithm,
+            ).inc(value)
+    target.histogram(
+        "repro_join_elapsed_seconds",
+        "Wall-clock latency of whole join executions.",
+        algorithm=algorithm,
+    ).observe(float(stats.elapsed_seconds))
+    for key, value in stats.extra.items():
+        safe = metric_name(key)
+        if key.startswith("max_"):
+            target.gauge(
+                f"repro_join_extra_{safe}",
+                "Running maximum of a max_-style JoinStats extra.",
+                algorithm=algorithm,
+            ).set_max(float(value))
+        elif value >= 0:
+            target.counter(
+                f"repro_join_extra_{safe}_total",
+                "Summed JoinStats extra counter.",
+                algorithm=algorithm,
+            ).inc(float(value))
+        else:  # a negative ad-hoc value cannot be a monotone counter
+            target.gauge(
+                f"repro_join_extra_{safe}",
+                "Non-monotone JoinStats extra.",
+                algorithm=algorithm,
+            ).set(float(value))

@@ -1,0 +1,40 @@
+"""Process-level facts for the service ``stats``/``metrics`` endpoints."""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Any, Dict
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - resource is POSIX-only
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["process_rss_bytes", "process_start_metadata"]
+
+_PROCESS_START_UNIX = time.time()
+
+
+def process_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; 0 on platforms
+    without the ``resource`` module.
+    """
+    if resource is None:  # pragma: no cover
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - exercised on macOS only
+        return int(peak)
+    return int(peak) * 1024
+
+
+def process_start_metadata() -> Dict[str, Any]:
+    """Identity of this process: pid, interpreter, and import-time start."""
+    return {
+        "pid": os.getpid(),
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "process_started_unix": _PROCESS_START_UNIX,
+    }

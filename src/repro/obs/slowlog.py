@@ -1,0 +1,71 @@
+"""Bounded slow-query log: the top-N slowest requests with span breakdowns.
+
+The server records every finished request here; the log keeps only the
+``capacity`` slowest (a min-heap keyed on duration, so a fast request never
+evicts a slow one); capacity 0 disables recording entirely.  Entries carry the request's trace id and its root
+span's per-child time breakdown — enough to answer "where did the slow ones
+spend their time?" straight from the ``stats`` endpoint without trawling a
+trace file.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    """Thread-safe, bounded top-N-by-duration log."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 0:
+            raise ValueError("slow-query log capacity must be non-negative")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._sequence = itertools.count()
+        # Min-heap of (duration, sequence, entry): the root is always the
+        # *fastest* retained request, i.e. the next to be evicted.
+        self._heap: List[Any] = []
+
+    def record(
+        self,
+        op: str,
+        duration_seconds: float,
+        trace_id: Optional[str] = None,
+        breakdown: Optional[Mapping[str, float]] = None,
+        **extra: Any,
+    ) -> None:
+        entry: Dict[str, Any] = {
+            "op": op,
+            "duration_seconds": float(duration_seconds),
+        }
+        if trace_id is not None:
+            entry["trace"] = trace_id
+        if breakdown:
+            entry["breakdown"] = {name: float(value) for name, value in breakdown.items()}
+        entry.update(extra)
+        item = (float(duration_seconds), next(self._sequence), entry)
+        with self._lock:
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, item)
+            elif self._heap and item[0] > self._heap[0][0]:
+                heapq.heapreplace(self._heap, item)
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Retained entries, slowest first (each a copy, safe to mutate)."""
+        with self._lock:
+            items = list(self._heap)
+        items.sort(key=lambda item: (-item[0], item[1]))
+        return [dict(entry) for _, _, entry in items]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._heap.clear()

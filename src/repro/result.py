@@ -125,7 +125,13 @@ class JoinStats:
             "verify_seconds": self.verify_seconds,
             "index_build_seconds": self.index_build_seconds,
         }
-        flat.update(self.extra)
+        for key, value in self.extra.items():
+            # An extra key that collides with a core field (possible when a
+            # merge brings in ad-hoc counters named after stats fields) must
+            # not shadow the core counter; emit it under a prefixed name so
+            # both survive the flattening and as_dict round-trips merges in
+            # any order.
+            flat["extra_" + key if key in flat else key] = value
         return flat
 
     _CONFIGURATION_FIELDS = ("algorithm", "threshold")

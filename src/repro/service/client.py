@@ -170,6 +170,16 @@ class ServiceClient:
         """Liveness probe; returns ``{"status": "ok", "records": n}``."""
         return self.call({"op": "health"})
 
+    def metrics(self) -> Dict[str, Any]:
+        """The server's metrics registry: ``{"text": exposition, "values": snapshot}``.
+
+        ``text`` is Prometheus exposition format; ``values`` is the JSON
+        snapshot (rebuild histograms with
+        :meth:`repro.obs.Histogram.from_snapshot`).  Ungated like ``stats``,
+        so it keeps answering during overload.
+        """
+        return self.call({"op": "metrics"})
+
     # ------------------------------------------------------------------ plumbing
     def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """Send one request and block for its response's ``result``.

@@ -24,12 +24,14 @@ a batch but none waits on wall-clock time.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Awaitable, Callable, Dict, List, Sequence, Tuple
+import time
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["QueryCoalescer"]
 
 Record = Sequence[int]
 BatchRunner = Callable[[List[Record]], Awaitable[List[Any]]]
+BatchObserver = Callable[[int, float, str], None]
 
 
 class QueryCoalescer:
@@ -57,6 +59,12 @@ class QueryCoalescer:
         self._runner = runner
         self.max_batch = max_batch
         self.max_linger_seconds = max_linger_ms / 1000.0
+        #: Optional hook called at every dispatch with
+        #: ``(batch_size, linger_seconds, reason)`` — the server points this
+        #: at its metrics registry to record batch-size and linger
+        #: distributions without the coalescer importing any of it.
+        self.on_batch: Optional[BatchObserver] = None
+        self._first_pending_at: float = 0.0
         self._pending: List[Tuple[Record, asyncio.Future]] = []
         self._linger_handle: asyncio.TimerHandle | None = None
         self._inflight: set = set()
@@ -74,6 +82,8 @@ class QueryCoalescer:
         """Enqueue one query; resolves with its slice of the batch result."""
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
+        if not self._pending:
+            self._first_pending_at = time.perf_counter()
         self._pending.append((record, future))
         self.counters["queries"] += 1
         if len(self._pending) >= self.max_batch:
@@ -110,6 +120,7 @@ class QueryCoalescer:
         # queue — so drop it here and only batch live queries.
         batch = [(record, future) for record, future in self._pending if not future.done()]
         self.counters["cancelled_dropped"] += len(self._pending) - len(batch)
+        linger_seconds = time.perf_counter() - self._first_pending_at
         self._pending = []
         if not batch:
             return
@@ -118,6 +129,8 @@ class QueryCoalescer:
         self.counters["max_batch_observed"] = max(
             self.counters["max_batch_observed"], len(batch)
         )
+        if self.on_batch is not None:
+            self.on_batch(len(batch), linger_seconds, reason)
         task = asyncio.ensure_future(self._run_batch(batch))
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)

@@ -15,6 +15,7 @@ Request shapes (``id`` optional everywhere)::
     {"id": 3, "op": "query_topk",  "record": [1, 2, 3], "k": 5, "floor": 0.8}
     {"op": "stats"}
     {"op": "health"}
+    {"op": "metrics"}
 
 ``query_topk`` returns the first ``k`` matches of the corresponding
 ``query`` (which sorts by decreasing similarity, ties by id); the optional
@@ -61,7 +62,7 @@ __all__ = [
 
 Match = Tuple[int, float]
 
-OPERATIONS = ("query", "query_batch", "query_topk", "insert", "stats", "health")
+OPERATIONS = ("query", "query_batch", "query_topk", "insert", "stats", "health", "metrics")
 """Operations a server must answer."""
 
 MAX_LINE_BYTES = 32 * 1024 * 1024

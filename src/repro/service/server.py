@@ -42,6 +42,8 @@ from your own event loop.
 from __future__ import annotations
 
 import asyncio
+import contextvars
+import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -53,6 +55,15 @@ from repro.index.similarity_index import (
     normalized_tokens,
     topk_from_matches,
 )
+from repro.obs.metrics import (
+    MetricsRegistry,
+    active_metrics,
+    merge_snapshots,
+    render_exposition,
+)
+from repro.obs.process import process_rss_bytes, process_start_metadata
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracing import ensure_tracing, event, span
 from repro.service.admission import AdmissionGate, ServerOverloadedError
 from repro.service.coalescer import QueryCoalescer
 from repro.service.protocol import (
@@ -76,9 +87,10 @@ IndexFactory = Callable[[], SimilarityIndex]
 GATED_OPERATIONS = frozenset({"query", "query_batch", "query_topk", "insert"})
 """Operations that cost index work and therefore pass admission control.
 
-``stats`` and ``health`` stay ungated on purpose: they are how operators
-(and the CI flood smoke leg) observe an overloaded server, so they must
-keep answering precisely when the gate is shedding everything else.
+``stats``, ``health`` and ``metrics`` stay ungated on purpose: they are how
+operators (and the CI flood smoke leg) observe an overloaded server, so
+they must keep answering precisely when the gate is shedding everything
+else.
 """
 
 
@@ -163,6 +175,10 @@ class SimilarityServer:
         the server stops reading that connection's requests until the
         client drains its responses.  ``None`` keeps asyncio's default
         (64 KiB); tests set it low to exercise the backpressure path.
+    slow_log_capacity:
+        How many of the slowest requests the in-memory slow-query log
+        retains (surfaced in the ``stats`` payload with their span
+        breakdowns).
     """
 
     def __init__(
@@ -182,6 +198,7 @@ class SimilarityServer:
         max_conn_inflight: int = 32,
         request_deadline_ms: float = 0.0,
         write_buffer_high: Optional[int] = None,
+        slow_log_capacity: int = 32,
     ) -> None:
         if (index is None) == (index_factory is None):
             raise ValueError("provide exactly one of index= or index_factory=")
@@ -225,6 +242,12 @@ class SimilarityServer:
         self._started_at = 0.0  # wall clock, human-facing only
         self._started_monotonic = 0.0  # durations (NTP steps must not move uptime)
         self._admission = AdmissionGate(max_inflight, max_queue)
+        #: Per-server metrics: request latency histograms by op, response
+        #: outcomes, coalescer batch shapes.  Always on — the registry is
+        #: cheap — and scraped through the ungated ``metrics`` protocol op.
+        self.metrics = MetricsRegistry()
+        self.slow_log = SlowQueryLog(slow_log_capacity)
+        self._request_ids = itertools.count(1)
         self.counters: Dict[str, float] = {
             "connections": 0,
             "requests": 0,
@@ -265,6 +288,9 @@ class SimilarityServer:
     async def start(self) -> None:
         """Recover/build the index and start accepting connections."""
         loop = asyncio.get_running_loop()
+        # Sink-less tracing is enough for span trees and the slow-query
+        # log's breakdowns; `repro-join serve --trace-file` attaches a sink.
+        ensure_tracing()
         try:
             if self._data_dir is not None:
                 self._store = PersistentIndexStore(self._data_dir, sync=self.wal_sync)
@@ -278,6 +304,7 @@ class SimilarityServer:
             self._coalescer = QueryCoalescer(
                 self._run_query_batch, max_batch=self.max_batch, max_linger_ms=self.max_linger_ms
             )
+            self._coalescer.on_batch = self._observe_batch
             # Bounded like the admission queue: an insert burst beyond it is
             # shed with busy instead of growing the queue (and memory).
             self._write_queue = asyncio.Queue(maxsize=max(1, self.max_queue))
@@ -376,7 +403,13 @@ class SimilarityServer:
     # ------------------------------------------------------------------ engine plumbing
     def _run_on_engine(self, call: Callable, *args: Any) -> Awaitable[Any]:
         assert self._engine is not None
-        return asyncio.get_running_loop().run_in_executor(self._engine, call, *args)
+        # run_in_executor does not copy contextvars, so without the explicit
+        # copy the index's spans on the engine thread would start fresh
+        # traces instead of nesting under the request span.
+        context = contextvars.copy_context()
+        return asyncio.get_running_loop().run_in_executor(
+            self._engine, lambda: context.run(call, *args)
+        )
 
     async def _run_query_batch(self, records: List[Record]) -> List[List[Tuple[int, float]]]:
         """The coalescer's batch runner: one ``query_batch`` on the engine thread."""
@@ -535,33 +568,50 @@ class SimilarityServer:
         self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
     ) -> None:
         request_id: Optional[Any] = None
-        try:
-            message = decode_message(line)
-            raw_id = message.get("id")
-            if isinstance(raw_id, (int, str)):
-                request_id = raw_id
-            request = parse_request(message)
-            if request["op"] in GATED_OPERATIONS:
-                result = await self._dispatch_gated(request)
-            else:
-                result = await self._dispatch(request)
-            response = ok_response(request["id"], result)
-        except ServerOverloadedError as error:
-            # Shed at admission: no index work happened, safe to retry.
-            response = busy_response(request_id, str(error))
-        except _DeadlineExceeded as error:
-            self.counters["deadline_drops"] += 1
-            response = error_response(request_id, str(error))
-        except ProtocolError as error:
-            self.counters["protocol_errors"] += 1
-            response = error_response(request_id, str(error))
-        except ValueError as error:  # domain errors (bad record, bad state)
-            response = error_response(request_id, str(error))
-        except asyncio.CancelledError:
-            raise  # connection teardown; no one is listening for a response
-        except Exception as error:  # keep the connection alive on server bugs
-            response = error_response(request_id, f"internal error: {error!r}")
-        await self._write_response(writer, write_lock, response)
+        operation = "unknown"
+        outcome = "ok"
+        started = time.perf_counter()
+        trace_id = f"req-{next(self._request_ids)}"
+        # One span tree per request, decode to response write, correlated by
+        # the server-assigned trace id (never randomness).
+        with span("request", trace_id=trace_id) as root:
+            try:
+                message = decode_message(line)
+                raw_id = message.get("id")
+                if isinstance(raw_id, (int, str)):
+                    request_id = raw_id
+                request = parse_request(message)
+                operation = request["op"]
+                root.annotate(op=operation, request_id=request_id)
+                if operation in GATED_OPERATIONS:
+                    result = await self._dispatch_gated(request)
+                else:
+                    result = await self._dispatch(request)
+                response = ok_response(request["id"], result)
+            except ServerOverloadedError as error:
+                # Shed at admission: no index work happened, safe to retry.
+                outcome = "busy"
+                response = busy_response(request_id, str(error))
+            except _DeadlineExceeded as error:
+                self.counters["deadline_drops"] += 1
+                outcome = "deadline"
+                response = error_response(request_id, str(error))
+            except ProtocolError as error:
+                self.counters["protocol_errors"] += 1
+                outcome = "protocol_error"
+                response = error_response(request_id, str(error))
+            except ValueError as error:  # domain errors (bad record, bad state)
+                outcome = "error"
+                response = error_response(request_id, str(error))
+            except asyncio.CancelledError:
+                raise  # connection teardown; no one is listening for a response
+            except Exception as error:  # keep the connection alive on server bugs
+                outcome = "internal_error"
+                response = error_response(request_id, f"internal error: {error!r}")
+            root.annotate(outcome=outcome)
+            with span("write"):
+                await self._write_response(writer, write_lock, response)
+        self._observe_request(operation, outcome, time.perf_counter() - started, trace_id, root)
 
     async def _dispatch_gated(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Run one work request under admission control and its deadline.
@@ -585,7 +635,8 @@ class SimilarityServer:
             ) from None
 
     async def _admit_and_dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        await self._admission.acquire()
+        with span("admission.wait"):
+            await self._admission.acquire()
         try:
             return await self._dispatch(request)
         finally:
@@ -596,7 +647,8 @@ class SimilarityServer:
         operation = request["op"]
         if operation == "query":
             record = _normalize_record(request["record"], "query with")
-            matches = await self._coalescer.submit(record)
+            with span("coalesce.wait"):
+                matches = await self._coalescer.submit(record)
             return {"matches": encode_matches(matches)}
         if operation == "query_topk":
             # Rides the same coalescer as plain queries (top-k requests
@@ -604,7 +656,8 @@ class SimilarityServer:
             # topk_from_matches rule, so the answer is by construction the
             # prefix of the corresponding threshold query.
             record = _normalize_record(request["record"], "query with")
-            matches = await self._coalescer.submit(record)
+            with span("coalesce.wait"):
+                matches = await self._coalescer.submit(record)
             top = topk_from_matches(matches, request["k"], request["floor"])
             return {"matches": encode_matches(top)}
         if operation == "query_batch":
@@ -626,12 +679,99 @@ class SimilarityServer:
                     f"insert writer queue full ({self._write_queue.maxsize} inserts "
                     f"pending); retry with backoff"
                 ) from None
-            record_id = await future
+            with span("writer.wait"):
+                record_id = await future
             return {"record_id": int(record_id)}
         if operation == "stats":
             return await self._stats_payload()
+        if operation == "metrics":
+            return self._metrics_payload()
         # health
         return {"status": "ok", "records": len(self._index)}
+
+    # ------------------------------------------------------------------ observability
+    def _observe_batch(self, batch_size: int, linger_seconds: float, reason: str) -> None:
+        """Coalescer dispatch hook: batch shape and linger distributions."""
+        metrics = self.metrics
+        metrics.counter(
+            "repro_service_coalesce_batches_total",
+            "Coalesced query batches dispatched, by flush reason.",
+            reason=reason,
+        ).inc()
+        metrics.histogram(
+            "repro_service_coalesce_batch_size",
+            "Queries per dispatched coalescer batch.",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        ).observe(batch_size)
+        metrics.histogram(
+            "repro_service_coalesce_linger_seconds",
+            "Time the first query of each batch waited before dispatch.",
+        ).observe(linger_seconds)
+        event("coalesce.batch", size=batch_size, linger_seconds=linger_seconds, reason=reason)
+
+    def _observe_request(
+        self, operation: str, outcome: str, duration_seconds: float, trace_id: str, root
+    ) -> None:
+        """Fold one finished request into histograms and the slow-query log."""
+        metrics = self.metrics
+        metrics.histogram(
+            "repro_service_request_seconds",
+            "Server-side request latency, protocol decode to response write.",
+            op=operation,
+        ).observe(duration_seconds)
+        metrics.counter(
+            "repro_service_responses_total",
+            "Responses written, by operation and outcome.",
+            op=operation,
+            outcome=outcome,
+        ).inc()
+        breakdown = root.child_seconds if root.enabled else None
+        self.slow_log.record(
+            operation, duration_seconds, trace_id=trace_id, breakdown=breakdown, outcome=outcome
+        )
+
+    def _metrics_payload(self) -> Dict[str, Any]:
+        """The ungated ``metrics`` op: exposition text plus the JSON snapshot.
+
+        The server's own registry is combined with the process-global one
+        (when enabled via ``repro-join serve --metrics`` or
+        :func:`repro.obs.enable_metrics`), so engine/index series scrape
+        through the same endpoint.  Plain ``self.counters`` mirrors use
+        ``set_total`` — the registry enforces that the sources never
+        decrease.
+        """
+        metrics = self.metrics
+        for name, value in self.counters.items():
+            metrics.counter(
+                f"repro_service_{name}_total", "Mirrored server counter."
+            ).set_total(value)
+        gate = self._admission
+        for name in ("shed_total", "admitted_total"):
+            metrics.counter(
+                f"repro_service_admission_{name}", "Mirrored admission-gate counter."
+            ).set_total(gate.counters[name])
+        metrics.gauge(
+            "repro_service_uptime_seconds", "Time since the server started."
+        ).set(time.monotonic() - self._started_monotonic)
+        metrics.gauge(
+            "repro_service_rss_bytes", "Peak resident set size of the server process."
+        ).set(process_rss_bytes())
+        metrics.gauge("repro_service_inflight", "Requests executing now.").set(gate.inflight)
+        metrics.gauge(
+            "repro_service_queue_depth", "Requests waiting for an admission slot."
+        ).set(gate.queue_depth)
+        metrics.gauge(
+            "repro_service_insert_queue_depth", "Inserts waiting for the writer."
+        ).set(self._write_queue.qsize() if self._write_queue is not None else 0)
+        metrics.gauge(
+            "repro_service_records", "Records resident in the served index."
+        ).set(len(self._index) if self._index is not None else 0)
+
+        snapshot = metrics.snapshot()
+        global_registry = active_metrics()
+        if global_registry is not None and global_registry is not metrics:
+            snapshot = merge_snapshots(snapshot, global_registry.snapshot())
+        return {"text": render_exposition(snapshot), "values": snapshot}
 
     async def _stats_payload(self) -> Dict[str, Any]:
         """The ``stats`` endpoint: index totals, session delta, server counters."""
@@ -665,6 +805,8 @@ class SimilarityServer:
             # the wall-clock start stays for humans correlating with logs.
             "uptime_seconds": time.monotonic() - self._started_monotonic,
             "started_at_unix": self._started_at,
+            "rss_bytes": process_rss_bytes(),
+            **process_start_metadata(),
             "wal_replayed": self._wal_replayed,
             "inserts_since_snapshot": self._inserts_since_snapshot,
             "persistence": self._store is not None,
@@ -685,6 +827,7 @@ class SimilarityServer:
             "request_deadline_ms": self.request_deadline_ms,
             **dict(self.counters),
         }
+        payload["slow_queries"] = self.slow_log.entries()
         return payload
 
 

@@ -1,0 +1,247 @@
+"""Unit tests for the metrics registry: bucket math, merging, exposition.
+
+The merge tests mirror how histograms are actually combined in this repo —
+per-worker registries snapshot independently and aggregate later — so they
+check the algebra that makes that sound: merging is associative and
+commutative, and a merged histogram is indistinguishable from one that saw
+every observation directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    metric_name,
+    percentile,
+    render_exposition,
+)
+
+
+class TestMetricName:
+    def test_invalid_characters_collapse_to_underscore(self) -> None:
+        assert metric_name("1bit-sketch hits") == "_1bit_sketch_hits"
+        assert metric_name("max depth (levels)") == "max_depth__levels_"
+
+    def test_valid_names_pass_through(self) -> None:
+        assert metric_name("repro_join_runs_total") == "repro_join_runs_total"
+
+    def test_empty_and_leading_digit_get_prefixed(self) -> None:
+        assert metric_name("") == "_"
+        assert metric_name("7z") == "_7z"
+
+
+class TestPercentile:
+    def test_nearest_rank_on_small_samples(self) -> None:
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 2.0
+        assert percentile(values, 0.95) == 4.0
+        assert percentile(values, 1.0) == 4.0
+
+    def test_empty_sample_returns_zero(self) -> None:
+        assert percentile([], 0.5) == 0.0
+
+    def test_rejects_out_of_range_fraction(self) -> None:
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestCounterAndGauge:
+    def test_counter_rejects_negative_increments(self) -> None:
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total")
+        counter.inc(3)
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        assert counter.value == 3
+
+    def test_set_total_raises_on_decrease(self) -> None:
+        counter = MetricsRegistry().counter("mirrored_total")
+        counter.set_total(10)
+        counter.set_total(10)  # equal is fine (no progress between scrapes)
+        counter.set_total(11)
+        with pytest.raises(ValueError):
+            counter.set_total(5)
+
+    def test_gauge_set_max_keeps_running_maximum(self) -> None:
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set_max(4)
+        gauge.set_max(2)
+        assert gauge.value == 4
+
+    def test_kind_conflict_is_rejected(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("thing_total")
+        with pytest.raises(ValueError):
+            registry.gauge("thing_total")
+
+    def test_labelled_series_are_independent(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("ops_total", op="query").inc()
+        registry.counter("ops_total", op="insert").inc(2)
+        snapshot = registry.snapshot()
+        by_op = {
+            series["labels"]["op"]: series["value"]
+            for series in snapshot["ops_total"]["series"]
+        }
+        assert by_op == {"query": 1, "insert": 2}
+
+
+def _random_observations(seed: int, count: int) -> list:
+    rng = random.Random(seed)
+    # Log-uniform over the full bucket range plus some overflow beyond 10s.
+    return [10.0 ** rng.uniform(-4.0, 1.2) for _ in range(count)]
+
+
+class TestHistogramMergeAlgebra:
+    def test_merge_equals_direct_observation(self) -> None:
+        shards = [_random_observations(seed, 200) for seed in (1, 2, 3)]
+        direct = Histogram("direct")
+        merged = Histogram("merged")
+        for shard in shards:
+            worker = Histogram("worker")
+            for value in shard:
+                worker.observe(value)
+                direct.observe(value)
+            merged.merge(worker)
+        assert merged.counts_and_sum()[0] == direct.counts_and_sum()[0]
+        assert merged.counts_and_sum()[1] == pytest.approx(direct.counts_and_sum()[1])
+
+    def test_merge_is_commutative_and_associative(self) -> None:
+        shards = [_random_observations(seed, 150) for seed in (4, 5, 6)]
+        workers = []
+        for shard in shards:
+            worker = Histogram("worker")
+            for value in shard:
+                worker.observe(value)
+            workers.append(worker)
+        references = None
+        for order in itertools.permutations(range(3)):
+            combined = Histogram("combined")
+            for position in order:
+                combined.merge(workers[position])
+            counts, total = combined.counts_and_sum()
+            if references is None:
+                references = (counts, total)
+            else:
+                assert counts == references[0]
+                assert total == pytest.approx(references[1])
+
+    def test_merge_rejects_mismatched_boundaries(self) -> None:
+        left = Histogram("left", boundaries=(0.1, 1.0))
+        right = Histogram("right", boundaries=(0.2, 1.0))
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_snapshot_merge_matches_object_merge(self) -> None:
+        first = MetricsRegistry()
+        second = MetricsRegistry()
+        for value in _random_observations(7, 100):
+            first.histogram("latency_seconds", op="query").observe(value)
+        for value in _random_observations(8, 100):
+            second.histogram("latency_seconds", op="query").observe(value)
+        first.counter("runs_total").inc(3)
+        second.counter("runs_total").inc(4)
+        first.gauge("depth").set(5)
+        second.gauge("depth").set(2)
+        merged = merge_snapshots(first.snapshot(), second.snapshot())
+        assert merged["runs_total"]["series"][0]["value"] == 7
+        assert merged["depth"]["series"][0]["value"] == 5  # gauges take the max
+        series = merged["latency_seconds"]["series"][0]
+        assert series["count"] == 200
+        rebuilt = Histogram.from_snapshot(series)
+        reference = Histogram("reference")
+        for value in _random_observations(7, 100) + _random_observations(8, 100):
+            reference.observe(value)
+        assert rebuilt.counts_and_sum()[0] == reference.counts_and_sum()[0]
+
+
+class TestHistogramQuantiles:
+    def test_quantile_error_bounded_by_bucket_width(self) -> None:
+        values = sorted(_random_observations(9, 500))
+        histogram = Histogram("latency")
+        for value in values:
+            histogram.observe(value)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            estimate = histogram.quantile(q)
+            exact = percentile(values, q)
+            index = histogram.bucket_index(exact)
+            lower = histogram.boundaries[index - 1] if index > 0 else 0.0
+            upper = (
+                histogram.boundaries[index]
+                if index < len(histogram.boundaries)
+                else histogram.boundaries[-1]
+            )
+            # The contract: the estimate never leaves the bucket containing
+            # the exact quantile (overflow clamps to the last boundary).
+            assert lower <= estimate <= upper
+
+    def test_overflow_quantile_reports_last_finite_boundary(self) -> None:
+        histogram = Histogram("latency", boundaries=(0.1, 1.0))
+        for _ in range(10):
+            histogram.observe(50.0)
+        assert histogram.quantile(0.5) == 1.0
+
+    def test_empty_histogram_quantile_is_zero(self) -> None:
+        assert Histogram("latency").quantile(0.99) == 0.0
+
+    def test_single_bucket_interpolation(self) -> None:
+        histogram = Histogram("latency", boundaries=(1.0, 2.0))
+        for _ in range(4):
+            histogram.observe(1.5)  # all in the (1, 2] bucket
+        assert 1.0 <= histogram.quantile(0.5) <= 2.0
+
+    def test_default_boundaries_are_strictly_increasing(self) -> None:
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(set(DEFAULT_LATENCY_BUCKETS))
+
+
+class TestExposition:
+    def test_golden_exposition(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "Requests served.", op="query").inc(3)
+        registry.gauge("queue_depth", "Waiting requests.").set(2)
+        histogram = registry.histogram(
+            "latency_seconds", "Latency.", buckets=(0.1, 1.0), op="query"
+        )
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(9.0)
+        text = render_exposition(registry.snapshot())
+        assert text == (
+            "# HELP latency_seconds Latency.\n"
+            "# TYPE latency_seconds histogram\n"
+            'latency_seconds_bucket{op="query",le="0.1"} 1\n'
+            'latency_seconds_bucket{op="query",le="1"} 2\n'
+            'latency_seconds_bucket{op="query",le="+Inf"} 3\n'
+            'latency_seconds_sum{op="query"} 9.55\n'
+            'latency_seconds_count{op="query"} 3\n'
+            "# HELP queue_depth Waiting requests.\n"
+            "# TYPE queue_depth gauge\n"
+            "queue_depth 2\n"
+            "# HELP requests_total Requests served.\n"
+            "# TYPE requests_total counter\n"
+            'requests_total{op="query"} 3\n'
+        )
+
+    def test_inf_bucket_count_equals_total_count(self) -> None:
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.5,))
+        for value in (0.1, 0.2, 7.0):
+            histogram.observe(value)
+        text = registry.expose_text()
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_count 3" in text
+
+    def test_infinite_gauge_renders_plus_inf(self) -> None:
+        registry = MetricsRegistry()
+        registry.gauge("g").set(math.inf)
+        assert "g +Inf" in registry.expose_text()

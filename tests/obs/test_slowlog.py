@@ -1,0 +1,62 @@
+"""Unit tests for the bounded slow-query log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import SlowQueryLog
+
+
+class TestSlowQueryLog:
+    def test_keeps_only_the_slowest_capacity_entries(self) -> None:
+        log = SlowQueryLog(capacity=3)
+        for millis in (5, 1, 9, 2, 7, 3):
+            log.record("query", millis / 1000.0)
+        durations = [entry["duration_seconds"] for entry in log.entries()]
+        assert durations == [0.009, 0.007, 0.005]
+        assert len(log) == 3
+
+    def test_fast_request_never_evicts_a_slow_one(self) -> None:
+        log = SlowQueryLog(capacity=2)
+        log.record("query", 1.0)
+        log.record("query", 2.0)
+        log.record("query", 0.001)
+        assert [entry["duration_seconds"] for entry in log.entries()] == [2.0, 1.0]
+
+    def test_entries_carry_trace_breakdown_and_extras(self) -> None:
+        log = SlowQueryLog(capacity=4)
+        log.record(
+            "query",
+            0.2,
+            trace_id="req-17",
+            breakdown={"coalesce.wait": 0.15, "write": 0.01},
+            outcome="ok",
+        )
+        (entry,) = log.entries()
+        assert entry["op"] == "query"
+        assert entry["trace"] == "req-17"
+        assert entry["breakdown"] == {"coalesce.wait": 0.15, "write": 0.01}
+        assert entry["outcome"] == "ok"
+
+    def test_equal_durations_break_ties_by_arrival_order(self) -> None:
+        log = SlowQueryLog(capacity=2)
+        log.record("first", 0.5)
+        log.record("second", 0.5)
+        log.record("third", 0.5)  # not strictly slower: the log keeps the old two
+        assert [entry["op"] for entry in log.entries()] == ["first", "second"]
+
+    def test_capacity_zero_disables_recording(self) -> None:
+        log = SlowQueryLog(capacity=0)
+        log.record("query", 9.9)
+        assert log.entries() == []
+        assert len(log) == 0
+
+    def test_negative_capacity_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=-1)
+
+    def test_clear_empties_the_log(self) -> None:
+        log = SlowQueryLog(capacity=2)
+        log.record("query", 1.0)
+        log.clear()
+        assert log.entries() == []

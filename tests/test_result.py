@@ -74,6 +74,36 @@ class TestJoinStats:
         stats = JoinStats(worker_seconds=2.5)
         assert stats.as_dict()["worker_seconds"] == 2.5
 
+    def test_as_dict_keeps_extras_colliding_with_core_fields(self) -> None:
+        # An extra named after a stats field (possible when a merge brings in
+        # ad-hoc counters) must not shadow the core counter — it surfaces
+        # under an extra_ prefix so both values survive the flattening.
+        stats = JoinStats(candidates=10, extra={"candidates": 3.0, "tree_nodes": 5.0})
+        flat = stats.as_dict()
+        assert flat["candidates"] == 10
+        assert flat["extra_candidates"] == 3.0
+        assert flat["tree_nodes"] == 5.0
+
+    def test_as_dict_round_trips_merge_order(self) -> None:
+        # Merging in either order must flatten to the same dictionary — the
+        # edge case being an extra key that collides with a core field only
+        # after the merge lands it on the other operand.
+        def build(order):
+            total = JoinStats(candidates=4)
+            parts = [
+                JoinStats(candidates=1, extra={"verified": 2.0}),
+                JoinStats(candidates=2, extra={"verified": 3.0, "max_depth": 6.0}),
+            ]
+            for position in order:
+                total.merge(parts[position])
+            return total.as_dict()
+
+        forward, backward = build((0, 1)), build((1, 0))
+        assert forward == backward
+        assert forward["candidates"] == 7
+        assert forward["extra_verified"] == 5.0
+        assert forward["verified"] == 0
+
 
 class TestSnapshotDelta:
     def test_delta_reports_only_what_accumulated_since(self) -> None:
